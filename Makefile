@@ -1,0 +1,28 @@
+# Convenience targets for the CRNN reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-quick examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	$(PYTHON) -m repro.bench.run_all --json results_full.json --markdown results_full.md
+	$(PYTHON) -m repro.bench.fill_experiments results_full.json EXPERIMENTS.md
+
+experiments-quick:
+	$(PYTHON) -m repro.bench.run_all --quick
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

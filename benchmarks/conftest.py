@@ -1,0 +1,53 @@
+"""Shared helpers for the pytest-benchmark suite.
+
+Each benchmark module covers one table/figure of the paper (see
+DESIGN.md's experiment index).  Every module (a) reruns its figure's
+parameter sweep in quick mode and prints the series — run with ``-s`` to
+see them — and (b) times the default-parameter point with
+pytest-benchmark for regression tracking.
+
+For the full-scale sweeps used in EXPERIMENTS.md run
+``python -m repro.bench.run_all`` instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.bench.simulation import make_target
+from repro.mobility.network import oldenburg_like
+from repro.mobility.workload import Workload, WorkloadSpec
+
+#: Default-point workload for the per-timestamp benchmarks (quick scale).
+BENCH_SPEC = WorkloadSpec(
+    num_objects=1_000,
+    num_queries=100,
+    object_mobility=0.10,
+    query_mobility=0.10,
+    timestamps=20,
+    seed=42,
+)
+
+BENCH_GRID = 128
+
+
+def steady_state_stepper(method: str, spec: WorkloadSpec = BENCH_SPEC):
+    """A zero-argument callable that processes one monitoring timestamp.
+
+    The target is pre-loaded with the initial snapshot; successive calls
+    process successive update batches (cycling when exhausted), so the
+    benchmark measures the steady-state per-timestamp update cost the
+    paper reports.
+    """
+    network = oldenburg_like(spec.bounds, random.Random(spec.seed))
+    workload = Workload(spec, network)
+    target = make_target(method, grid_cells=BENCH_GRID)
+    workload.load_into(target)
+    batches = list(workload.batches())
+    cycler = itertools.cycle(batches)
+
+    def step():
+        target.process(next(cycler))
+
+    return step

@@ -1,0 +1,33 @@
+"""Figure 14: the incremental monitor vs the TPL-FUR baseline.
+
+Fig. 14(a) sweeps object cardinality, Fig. 14(b) query cardinality.
+Expected shape (paper): the increment beats TPL-FUR by a growing margin
+as either cardinality grows.
+"""
+
+from repro.bench.experiments import fig14a, fig14b
+from repro.bench.reporting import format_speedups, format_sweep
+from repro.bench.simulation import METHOD_LU_PI, METHOD_TPL_FUR
+
+from benchmarks.conftest import steady_state_stepper
+
+
+def test_fig14a(benchmark):
+    result = fig14a(quick=True)
+    print("\n" + format_sweep(result))
+    print(format_speedups(result, METHOD_TPL_FUR, METHOD_LU_PI))
+    # The headline claim at the sweep's largest point: increment wins.
+    assert result.series[METHOD_LU_PI][-1] < result.series[METHOD_TPL_FUR][-1]
+    benchmark(steady_state_stepper(METHOD_LU_PI))
+
+
+def test_fig14a_baseline(benchmark):
+    benchmark(steady_state_stepper(METHOD_TPL_FUR))
+
+
+def test_fig14b(benchmark):
+    result = fig14b(quick=True)
+    print("\n" + format_sweep(result))
+    print(format_speedups(result, METHOD_TPL_FUR, METHOD_LU_PI))
+    assert result.series[METHOD_LU_PI][-1] < result.series[METHOD_TPL_FUR][-1]
+    benchmark(steady_state_stepper(METHOD_LU_PI))

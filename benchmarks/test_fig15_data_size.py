@@ -1,0 +1,28 @@
+"""Figure 15: Uniform vs LU-only vs LU+PI, varying the data size.
+
+Fig. 15(a) sweeps object cardinality, Fig. 15(b) query cardinality.
+Expected shape (paper): LU+PI <= LU-only < Uniform, with the gaps
+widening as the data grows.
+"""
+
+from repro.bench.experiments import fig15a, fig15b
+from repro.bench.reporting import format_sweep
+from repro.bench.simulation import METHOD_LU_ONLY, METHOD_LU_PI, METHOD_UNIFORM
+
+from benchmarks.conftest import steady_state_stepper
+
+
+def test_fig15a(benchmark):
+    result = fig15a(quick=True)
+    print("\n" + format_sweep(result))
+    benchmark(steady_state_stepper(METHOD_LU_PI))
+
+
+def test_fig15a_uniform(benchmark):
+    benchmark(steady_state_stepper(METHOD_UNIFORM))
+
+
+def test_fig15b(benchmark):
+    result = fig15b(quick=True)
+    print("\n" + format_sweep(result))
+    benchmark(steady_state_stepper(METHOD_LU_ONLY))

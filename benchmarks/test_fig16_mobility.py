@@ -1,0 +1,30 @@
+"""Figure 16: Uniform vs LU-only vs LU+PI, varying data mobility.
+
+Fig. 16(a) sweeps the fraction of objects reporting per timestamp,
+Fig. 16(b) the fraction of query points.  Expected shapes (paper): all
+methods grow with object mobility, Uniform fastest; at low query
+mobility the circ-region optimisations matter most and the LU+PI/LU-only
+gap narrows as query mobility (hence recomputation) grows.
+"""
+
+import dataclasses
+
+from repro.bench.experiments import fig16a, fig16b
+from repro.bench.reporting import format_sweep
+from repro.bench.simulation import METHOD_LU_PI
+
+from benchmarks.conftest import BENCH_SPEC, steady_state_stepper
+
+
+def test_fig16a(benchmark):
+    result = fig16a(quick=True)
+    print("\n" + format_sweep(result))
+    high_mobility = dataclasses.replace(BENCH_SPEC, object_mobility=0.20)
+    benchmark(steady_state_stepper(METHOD_LU_PI, high_mobility))
+
+
+def test_fig16b(benchmark):
+    result = fig16b(quick=True)
+    print("\n" + format_sweep(result))
+    high_mobility = dataclasses.replace(BENCH_SPEC, query_mobility=0.20)
+    benchmark(steady_state_stepper(METHOD_LU_PI, high_mobility))

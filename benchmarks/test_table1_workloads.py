@@ -1,0 +1,26 @@
+"""Table 1: dataset parameters, and the cost of generating the workloads.
+
+Prints the (scaled) parameter table of the paper and benchmarks the
+network-based moving-object generator, the substrate every experiment
+stands on.
+"""
+
+import random
+
+from repro.bench.experiments import table1_parameters
+from repro.core.config import DEFAULT_BOUNDS
+from repro.mobility.generator import NetworkGenerator
+from repro.mobility.network import oldenburg_like
+
+
+def test_table1_workload_generation(benchmark):
+    table = table1_parameters()
+    print("\nTable 1 (scaled dataset parameters):")
+    for key, value in table.items():
+        print(f"  {key}: {value}")
+
+    network = oldenburg_like(DEFAULT_BOUNDS, random.Random(0))
+    generator = NetworkGenerator(network, table["defaults"]["# of objects"], seed=0)
+    mobility = table["defaults"]["Object mobility (%)"] / 100.0
+
+    benchmark(generator.tick, mobility)

@@ -1,0 +1,82 @@
+"""BotFighters: the mixed-reality game that motivates the paper.
+
+Players roam a city's streets and can "shoot" nearby players with their
+phones.  A cautious player registers a CRNN query to continuously watch
+the players who might target him — exactly his reverse nearest
+neighbors (the paper's Section 1 example).  Every player is both a
+moving object and (for the players who registered) a query point whose
+own avatar is excluded.
+
+Run:  python examples/botfighters.py
+"""
+
+import random
+
+from repro import CRNNMonitor, MonitorConfig, ObjectUpdate
+from repro.core.config import DEFAULT_BOUNDS
+from repro.mobility.generator import NetworkGenerator
+from repro.mobility.network import grid_network
+
+NUM_PLAYERS = 120
+WATCHERS = (3, 17, 42)  # player ids who registered monitoring queries
+ROUNDS = 12
+MOBILITY = 0.5  # half the players move each round
+
+
+def main() -> None:
+    rng = random.Random(7)
+    city = grid_network(14, 14, DEFAULT_BOUNDS, rng=rng)
+    players = NetworkGenerator(city, NUM_PLAYERS, seed=7)
+
+    monitor = CRNNMonitor(MonitorConfig.lu_pi(grid_cells=64))
+    for pid, pos in players.positions().items():
+        monitor.add_object(pid, pos)
+
+    # Watchers register queries at their own position, excluding their
+    # own avatar from the result.
+    for pid in WATCHERS:
+        pos = players.position_of(pid)
+        threats = monitor.add_query(10_000 + pid, pos, exclude={pid})
+        print(f"player {pid} logs in; immediate threats: {sorted(threats)}")
+    monitor.drain_events()  # login results already printed above
+
+    for round_no in range(1, ROUNDS + 1):
+        moves = players.tick(MOBILITY)
+        batch = [ObjectUpdate(pid, pos) for pid, pos in moves.items()]
+        # watchers move too: re-anchor their queries at their new spot
+        for pid in WATCHERS:
+            if pid in moves:
+                monitor.update_query(10_000 + pid, moves[pid])
+        monitor.process(batch)
+
+        # Coalesce the event stream into the round's net changes.
+        net: dict[tuple[int, int], bool] = {}
+        for event in monitor.drain_events():
+            key = (event.qid, event.oid)
+            if key in net and net[key] != event.gained:
+                del net[key]  # appeared and vanished within the round
+            else:
+                net[key] = event.gained
+        if net:
+            print(f"round {round_no:2d}:")
+            for (qid, oid), gained in sorted(net.items()):
+                watcher = qid - 10_000
+                verb = "APPROACHING" if gained else "lost interest"
+                print(f"   player {watcher}: player {oid} {verb}")
+        else:
+            print(f"round {round_no:2d}: all quiet")
+
+    print()
+    for pid in WATCHERS:
+        threats = sorted(monitor.rnn(10_000 + pid))
+        print(f"final threat list of player {pid}: {threats}")
+    stats = monitor.stats
+    print(
+        f"\nserver work: {stats.nn_searches} NN searches, "
+        f"{stats.circ_lazy_radius_updates} lazy circ updates, "
+        f"{stats.result_changes} result changes"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: monitor reverse nearest neighbors of moving points.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CRNNMonitor, MonitorConfig, Point
+
+
+def main() -> None:
+    # A monitor using the paper's full method (lazy-update +
+    # partial-insert) on a 64x64 grid over the default 10km x 10km space.
+    monitor = CRNNMonitor(MonitorConfig.lu_pi(grid_cells=64))
+
+    # Three taxis send their first location reports.
+    monitor.add_object(1, Point(2_000.0, 2_000.0))
+    monitor.add_object(2, Point(2_600.0, 2_100.0))
+    monitor.add_object(3, Point(8_000.0, 8_000.0))
+
+    # A dispatcher registers a long-running query: "which taxis consider
+    # me their nearest point of interest?"
+    initial = monitor.add_query(100, Point(2_300.0, 2_050.0))
+    print(f"initial RNNs of the dispatcher: {sorted(initial)}")
+
+    # Taxi 3 drives across town toward the dispatcher...
+    monitor.update_object(3, Point(2_350.0, 2_500.0))
+    print(f"after taxi 3 arrives:          {sorted(monitor.rnn(100))}")
+
+    # ...then parks right next to taxi 1, which stops being an RNN
+    # (taxi 1 is now closer to taxi 3 than to the dispatcher).
+    monitor.update_object(3, Point(2_050.0, 2_000.0))
+    print(f"after taxi 3 parks by taxi 1:  {sorted(monitor.rnn(100))}")
+
+    # Every change was also pushed as an event stream:
+    print("event log:")
+    for event in monitor.drain_events():
+        print(f"  {event}")
+
+    # Inspect the monitoring region the paper is about: up to six
+    # pie-regions plus six circ-regions per query.
+    region = monitor.monitoring_region(100)
+    bounded = [p for p in region.pies if p.bounded]
+    print(f"monitoring region: {len(bounded)} bounded pies, {len(region.circs)} circles")
+
+    # Operation counters show how little work the incremental
+    # maintenance did.
+    print(f"NN searches so far: {monitor.stats.nn_searches}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (`pip install -e .`) in offline
+environments where the `wheel` package is unavailable; all project
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

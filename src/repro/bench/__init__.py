@@ -1,0 +1,56 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 6)."""
+
+from repro.bench.experiments import (
+    ALL_FIGURES,
+    ablation_furtree,
+    ablation_grid,
+    ablation_init,
+    ablation_threshold,
+    fig14a,
+    fig14b,
+    fig15a,
+    fig15b,
+    fig16a,
+    fig16b,
+    table1_parameters,
+)
+from repro.bench.harness import SweepResult, sweep
+from repro.bench.reporting import format_speedups, format_sweep, sweep_to_markdown
+from repro.bench.simulation import (
+    ALL_METHODS,
+    METHOD_LU_ONLY,
+    METHOD_LU_PI,
+    METHOD_TPL_FUR,
+    METHOD_UNIFORM,
+    SimulationResult,
+    make_target,
+    run_method,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "ALL_METHODS",
+    "METHOD_TPL_FUR",
+    "METHOD_UNIFORM",
+    "METHOD_LU_ONLY",
+    "METHOD_LU_PI",
+    "SimulationResult",
+    "SweepResult",
+    "make_target",
+    "run_method",
+    "sweep",
+    "format_sweep",
+    "format_speedups",
+    "sweep_to_markdown",
+    "table1_parameters",
+    "fig14a",
+    "fig14b",
+    "fig15a",
+    "fig15b",
+    "fig16a",
+    "fig16b",
+    "ablation_grid",
+    "ablation_threshold",
+    "ablation_init",
+    "ablation_furtree",
+]

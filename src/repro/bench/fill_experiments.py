@@ -1,0 +1,86 @@
+"""Fill EXPERIMENTS.md's measurement placeholders from a results JSON.
+
+Usage::
+
+    python -m repro.bench.fill_experiments results_full.json EXPERIMENTS.md
+
+Replaces each ``<!--FIG14A-->``-style marker (matched case-insensitively
+against the experiment ids in the JSON) with a markdown table of the
+measured series.  Markers are kept in the output so the file can be
+re-filled after a fresh run.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+
+
+def _table(entry: dict) -> str:
+    methods = list(entry["series"])
+    lines = [
+        "| " + " | ".join([entry["x_label"]] + methods) + " |",
+        "|" + "---|" * (len(methods) + 1),
+    ]
+    for i, x in enumerate(entry["x_values"]):
+        cells = [str(x)] + [f"{entry['series'][m][i]:.5f}" for m in methods]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def _timing_line(entry: dict) -> str:
+    return ", ".join(f"{k}: {v * 1e3:.3f} ms" for k, v in entry.items())
+
+
+def fill(results_path: str, markdown_path: str) -> int:
+    with open(results_path) as fp:
+        results = json.load(fp)
+    with open(markdown_path) as fp:
+        text = fp.read()
+
+    lowered = {k.lower(): v for k, v in results.items()}
+    replaced = 0
+    for marker in re.findall(r"<!--([A-Z0-9]+)-->", text):
+        key = marker.lower()
+        if key not in lowered:
+            continue
+        entry = lowered[key]
+        if isinstance(entry, dict) and "series" in entry:
+            body = _table(entry)
+        elif isinstance(entry, dict) and entry and all(
+            isinstance(v, dict) for v in entry.values()
+        ):
+            from repro.bench.ops_report import ops_report_markdown
+
+            body = ops_report_markdown(entry)
+        elif isinstance(entry, dict):
+            body = _timing_line(entry)
+        else:
+            continue
+        # Replace the marker and everything until the next blank line
+        # following it (the previous fill, if any), keeping the marker.
+        pattern = re.compile(
+            rf"<!--{marker}-->\n(?:(?!\n\*\*|\n##).*\n)*?\n", re.MULTILINE
+        )
+        replacement = f"<!--{marker}-->\n{body}\n\n"
+        text, n = pattern.subn(replacement, text, count=1)
+        if n == 0:
+            text = text.replace(f"<!--{marker}-->", replacement, 1)
+        replaced += 1
+    with open(markdown_path, "w") as fp:
+        fp.write(text)
+    print(f"filled {replaced} sections in {markdown_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+    return fill(args[0], args[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Parameter-sweep harness: run several methods across a swept knob."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.bench.simulation import SimulationResult, run_method
+from repro.mobility.network import RoadNetwork, oldenburg_like
+from repro.mobility.workload import WorkloadSpec
+
+
+@dataclass
+class SweepResult:
+    """All series of one experiment (one paper figure)."""
+
+    name: str
+    title: str
+    x_label: str
+    x_values: list[object] = field(default_factory=list)
+    #: method name -> average update seconds per x value
+    series: dict[str, list[float]] = field(default_factory=dict)
+    #: method name -> full simulation results per x value
+    runs: dict[str, list[SimulationResult]] = field(default_factory=dict)
+
+    def speedup(self, slow: str, fast: str) -> list[float]:
+        """Per-x ratio ``slow / fast`` of average update time."""
+        return [
+            (s / f) if f > 0 else float("inf")
+            for s, f in zip(self.series[slow], self.series[fast])
+        ]
+
+
+def sweep(
+    name: str,
+    title: str,
+    x_label: str,
+    points: Sequence[tuple[object, WorkloadSpec]],
+    methods: Sequence[str],
+    grid_cells: int = 64,
+    network: Optional[RoadNetwork] = None,
+) -> SweepResult:
+    """Run every method on every sweep point (identical update streams)."""
+    result = SweepResult(name=name, title=title, x_label=x_label)
+    result.x_values = [x for x, _ in points]
+    for method in methods:
+        result.series[method] = []
+        result.runs[method] = []
+    for _x, spec in points:
+        net = network if network is not None else oldenburg_like(
+            spec.bounds, random.Random(spec.seed)
+        )
+        for method in methods:
+            run = run_method(method, spec, network=net, grid_cells=grid_cells)
+            # The series carry the median per-timestamp time: the same
+            # central tendency as the paper's averages on clean runs,
+            # but robust to transient system noise.  Full runs (with
+            # per-timestamp samples and means) stay in ``runs``.
+            result.series[method].append(run.median_update_seconds)
+            result.runs[method].append(run)
+    return result

@@ -1,0 +1,52 @@
+"""Plain-text rendering of sweep results (the paper's figures as tables)."""
+
+from __future__ import annotations
+
+from repro.bench.harness import SweepResult
+
+
+def format_sweep(result: SweepResult, unit: str = "s") -> str:
+    """A fixed-width table: one row per x value, one column per method."""
+    methods = list(result.series)
+    header = [result.x_label] + methods
+    rows: list[list[str]] = []
+    for i, x in enumerate(result.x_values):
+        row = [str(x)]
+        for method in methods:
+            row.append(f"{result.series[method][i]:.5f}")
+        rows.append(row)
+    widths = [
+        max(len(header[c]), max((len(r[c]) for r in rows), default=0))
+        for c in range(len(header))
+    ]
+    lines = [f"{result.name}: {result.title} (avg update CPU time per timestamp, {unit})"]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_speedups(result: SweepResult, slow: str, fast: str) -> str:
+    """One line summarising how much ``fast`` beats ``slow`` across the sweep."""
+    ratios = result.speedup(slow, fast)
+    parts = ", ".join(
+        f"{x}: {r:.1f}x" for x, r in zip(result.x_values, ratios)
+    )
+    return f"{result.name}: {fast} vs {slow} speedup — {parts}"
+
+
+def sweep_to_markdown(result: SweepResult) -> str:
+    """GitHub-flavoured markdown table of a sweep (for EXPERIMENTS.md)."""
+    methods = list(result.series)
+    lines = [
+        f"**{result.name} — {result.title}** "
+        f"(avg update CPU seconds per timestamp)",
+        "",
+        "| " + " | ".join([result.x_label] + methods) + " |",
+        "|" + "---|" * (len(methods) + 1),
+    ]
+    for i, x in enumerate(result.x_values):
+        cells = [str(x)] + [f"{result.series[m][i]:.5f}" for m in methods]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Run every paper experiment and print/save the results.
+
+Usage::
+
+    python -m repro.bench.run_all                  # full (paper/10) scale
+    python -m repro.bench.run_all --quick          # fast smoke sweep
+    python -m repro.bench.run_all --only fig14a,fig16b
+    python -m repro.bench.run_all --json results.json --markdown results.md
+
+The markdown output is the per-figure section pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.experiments import (
+    ALL_FIGURES,
+    _quickened,
+    _spec,
+    ablation_furtree,
+    ablation_grid,
+    ablation_init,
+    ablation_precomputation,
+    ablation_threshold,
+    table1_parameters,
+)
+from repro.bench.harness import SweepResult
+from repro.bench.ops_report import format_ops_report, ops_report, ops_report_markdown
+from repro.bench.reporting import format_speedups, format_sweep, sweep_to_markdown
+from repro.bench.simulation import METHOD_LU_PI, METHOD_TPL_FUR
+
+ABLATIONS = {
+    "ablA": ablation_grid,
+    "ablB": ablation_threshold,
+}
+SIMPLE_ABLATIONS = {
+    "ablC": ablation_init,
+    "ablD": ablation_furtree,
+    "ablE": ablation_precomputation,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small fast sweeps")
+    parser.add_argument(
+        "--only",
+        default="",
+        help="comma-separated experiment ids (fig14a..fig16b, ablA..ablD)",
+    )
+    parser.add_argument("--json", default="", help="write results to this JSON file")
+    parser.add_argument("--markdown", default="", help="write markdown tables here")
+    args = parser.parse_args(argv)
+
+    wanted = set(filter(None, args.only.split(","))) or (
+        set(ALL_FIGURES) | set(ABLATIONS) | set(SIMPLE_ABLATIONS) | {"opsreport"}
+    )
+    blob: dict[str, object] = {"table1": table1_parameters(), "quick": args.quick}
+    markdown: list[str] = []
+
+    print("Table 1 (scaled dataset parameters):")
+    for key, value in table1_parameters().items():
+        print(f"  {key}: {value}")
+    print()
+
+    for name, fn in {**ALL_FIGURES, **ABLATIONS}.items():
+        if name not in wanted:
+            continue
+        result: SweepResult = fn(quick=args.quick)
+        print(format_sweep(result))
+        if METHOD_TPL_FUR in result.series and METHOD_LU_PI in result.series:
+            print(format_speedups(result, METHOD_TPL_FUR, METHOD_LU_PI))
+        print()
+        blob[name] = {
+            "title": result.title,
+            "x_label": result.x_label,
+            "x_values": result.x_values,
+            "series": result.series,
+        }
+        markdown.append(sweep_to_markdown(result))
+
+    for name, fn in SIMPLE_ABLATIONS.items():
+        if name not in wanted:
+            continue
+        timing = fn(quick=args.quick)
+        print(f"{name}: " + ", ".join(f"{k}: {v * 1e3:.3f} ms" for k, v in timing.items()))
+        print()
+        blob[name] = timing
+        markdown.append(
+            f"**{name}** — " + ", ".join(f"{k}: {v * 1e3:.3f} ms" for k, v in timing.items())
+        )
+
+    if "opsreport" in wanted:
+        report = ops_report(_quickened(_spec(timestamps=10), args.quick))
+        print(format_ops_report(report))
+        print()
+        blob["opsreport"] = report
+        markdown.append(
+            "**opsreport** — deterministic operation counts "
+            "(default workload, 10 timestamps)\n\n" + ops_report_markdown(report)
+        )
+
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(blob, f, indent=2)
+        print(f"wrote {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w") as f:
+            f.write("\n\n".join(markdown) + "\n")
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

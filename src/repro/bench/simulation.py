@@ -1,0 +1,119 @@
+"""Timed simulation runs: one method over one workload.
+
+Mirrors the paper's measurement protocol (Section 6.1): the queries are
+evaluated at every timestamp; we simulate ``spec.timestamps`` timestamps
+and report the average CPU time of *updating* — initial computation is
+excluded.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.baseline import TPLFURBaseline
+from repro.core.config import LU_ONLY, LU_PI, UNIFORM, MonitorConfig
+from repro.core.monitor import CRNNMonitor
+from repro.mobility.network import RoadNetwork, oldenburg_like
+from repro.mobility.workload import Workload, WorkloadSpec
+
+#: Canonical method names used across the bench suite.
+METHOD_TPL_FUR = "TPL-FUR"
+METHOD_UNIFORM = "Uniform"
+METHOD_LU_ONLY = "LU-only"
+METHOD_LU_PI = "LU+PI"
+
+ALL_METHODS = (METHOD_TPL_FUR, METHOD_UNIFORM, METHOD_LU_ONLY, METHOD_LU_PI)
+
+
+@dataclass
+class SimulationResult:
+    """Timing and operation counters from one simulated run."""
+
+    method: str
+    spec: WorkloadSpec
+    per_timestamp_seconds: list[float] = field(default_factory=list)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def avg_update_seconds(self) -> float:
+        if not self.per_timestamp_seconds:
+            return 0.0
+        return sum(self.per_timestamp_seconds) / len(self.per_timestamp_seconds)
+
+    @property
+    def median_update_seconds(self) -> float:
+        """Median per-timestamp time — robust to transient system noise
+        (the sweeps report this; the paper's averages are also kept)."""
+        if not self.per_timestamp_seconds:
+            return 0.0
+        return statistics.median(self.per_timestamp_seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.per_timestamp_seconds)
+
+
+def make_target(
+    method: str,
+    grid_cells: int = 64,
+    fur_fanout: int = 20,
+    tpl_fanout: int = 50,
+    config: Optional[MonitorConfig] = None,
+):
+    """Instantiate the processing engine for a canonical method name.
+
+    A full ``config`` may be supplied to override the monitor settings
+    (used by the ablation benches, e.g. threshold sweeps); it must agree
+    with the requested method's variant.
+    """
+    if method == METHOD_TPL_FUR:
+        return TPLFURBaseline(fanout=tpl_fanout)
+    variants = {
+        METHOD_UNIFORM: UNIFORM,
+        METHOD_LU_ONLY: LU_ONLY,
+        METHOD_LU_PI: LU_PI,
+    }
+    if method not in variants:
+        raise ValueError(f"unknown method {method!r}; expected one of {ALL_METHODS}")
+    if config is None:
+        config = MonitorConfig(
+            variant=variants[method], grid_cells=grid_cells, fur_fanout=fur_fanout
+        )
+    elif config.variant != variants[method]:
+        raise ValueError(
+            f"config variant {config.variant!r} does not match method {method!r}"
+        )
+    return CRNNMonitor(config)
+
+
+def run_method(
+    method: str,
+    spec: WorkloadSpec,
+    network: Optional[RoadNetwork] = None,
+    grid_cells: int = 64,
+    clock: Callable[[], float] = time.perf_counter,
+    config: Optional[MonitorConfig] = None,
+) -> SimulationResult:
+    """Simulate ``spec`` with ``method`` and time each monitoring timestamp.
+
+    The same ``spec`` (seed included) always produces the same update
+    stream, so different methods are compared on identical workloads.
+    """
+    if network is None:
+        network = oldenburg_like(spec.bounds, random.Random(spec.seed))
+    workload = Workload(spec, network)
+    target = make_target(method, grid_cells=grid_cells, config=config)
+    workload.load_into(target)  # initialisation: untimed, as in the paper
+
+    result = SimulationResult(method=method, spec=spec)
+    before = target.stats.snapshot()
+    for batch in workload.batches():
+        start = clock()
+        target.process(batch)
+        result.per_timestamp_seconds.append(clock() - start)
+    result.stats = target.stats.diff(before)
+    return result

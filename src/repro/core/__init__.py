@@ -1,0 +1,39 @@
+"""Core CRNN monitoring: the paper's primary contribution."""
+
+from repro.core.baseline import TPLFURBaseline
+from repro.core.circ_store import CircRecord, CircStoreBase, FurCircStore
+from repro.core.config import LU_ONLY, LU_PI, UNIFORM, MonitorConfig
+from repro.core.events import ObjectUpdate, QueryUpdate, ResultChange
+from repro.core.init_crnn import InitResult, init_crnn
+from repro.core.monitor import CRNNMonitor
+from repro.core.oracle import BruteForceMonitor, brute_force_rnn
+from repro.core.query_table import QueryState, QueryTable
+from repro.core.regions import CircRegion, MonitoringRegion, PieRegion
+from repro.core.stats import StatCounters
+from repro.core.uniform import GridCircStore
+
+__all__ = [
+    "CRNNMonitor",
+    "MonitorConfig",
+    "UNIFORM",
+    "LU_ONLY",
+    "LU_PI",
+    "ObjectUpdate",
+    "QueryUpdate",
+    "ResultChange",
+    "InitResult",
+    "init_crnn",
+    "QueryState",
+    "QueryTable",
+    "CircRecord",
+    "CircStoreBase",
+    "FurCircStore",
+    "GridCircStore",
+    "TPLFURBaseline",
+    "BruteForceMonitor",
+    "brute_force_rnn",
+    "StatCounters",
+    "PieRegion",
+    "CircRegion",
+    "MonitoringRegion",
+]

@@ -1,0 +1,392 @@
+"""Circ-region storage and maintenance (Section 5.2 of the paper).
+
+A *circ-region* belongs to one ``(query, sector)`` pair.  It is a circle
+centred at that sector's candidate whose perimeter carries either
+
+* the query point itself — the candidate is currently a true RNN — or
+* some object ``nn_cand`` strictly nearer to the candidate than the
+  query — a standing *certificate* that the candidate is a false
+  positive (the certificate need not be the candidate's true NN; that
+  slack is what the lazy-update optimisation exploits).
+
+This module provides the base bookkeeping shared by all variants
+(:class:`CircStoreBase`: records, result-change events) and the paper's
+store (:class:`FurCircStore`): a single global in-memory FUR-tree over
+all candidates, augmented Rdnn-style with per-entry max radius, an
+**NN-Hash** from each certificate object to the circ-regions it
+supports, and the **partial-insert** side hash for circles whose radius
+is below the threshold fraction of the candidate-query distance.
+
+``handle_update`` implements algorithm *updateCirc* (Fig. 13) with the
+**lazy-update** optimisation: when a certificate object moves but the
+enlarged circle still does not reach the query, only the radius is
+updated — no NN search.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Optional
+
+from repro.core.events import ResultChange
+from repro.core.query_table import QueryTable
+from repro.core.stats import StatCounters
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point, dist
+from repro.grid.cpm import nearest_neighbor
+from repro.grid.index import GridIndex
+from repro.rtree.furtree import FURTree
+from repro.rtree.node import LeafEntry
+
+EmitFn = Callable[[ResultChange], None]
+
+
+class CircRecord:
+    """Live state of one circ-region."""
+
+    __slots__ = ("qid", "sector", "cand", "d_q_cand", "nn", "radius", "in_fur")
+
+    def __init__(
+        self,
+        qid: int,
+        sector: int,
+        cand: int,
+        d_q_cand: float,
+        nn: Optional[int],
+        radius: float,
+    ):
+        self.qid = qid
+        self.sector = sector
+        self.cand = cand
+        self.d_q_cand = d_q_cand
+        self.nn = nn
+        self.radius = radius
+        self.in_fur = False
+
+    @property
+    def is_rnn(self) -> bool:
+        return self.nn is None
+
+    def circle(self, cand_pos: Point) -> Circle:
+        return Circle(cand_pos, self.radius)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "RNN" if self.is_rnn else f"FP(nn=o{self.nn})"
+        return (
+            f"CircRecord(q{self.qid}/S{self.sector}, cand=o{self.cand}, "
+            f"r={self.radius:.4g}, {status})"
+        )
+
+
+class CircStoreBase:
+    """Record keeping and result-change events common to every variant."""
+
+    def __init__(
+        self,
+        grid: GridIndex,
+        query_table: QueryTable,
+        stats: StatCounters,
+        emit: EmitFn,
+    ):
+        self.grid = grid
+        self.qt = query_table
+        self.stats = stats
+        self.emit = emit
+        self._records: dict[tuple[int, int], CircRecord] = {}
+
+    # -- public record access ------------------------------------------
+    def record(self, qid: int, sector: int) -> Optional[CircRecord]:
+        return self._records.get((qid, sector))
+
+    def records_of_query(self, qid: int) -> list[CircRecord]:
+        return [r for (q, _s), r in self._records.items() if q == qid]
+
+    def rnn_set(self, qid: int) -> frozenset[int]:
+        """The current RNN result of ``qid`` derived from its records."""
+        return frozenset(r.cand for r in self.records_of_query(qid) if r.is_rnn)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- mutation --------------------------------------------------------
+    def set_circ(
+        self,
+        qid: int,
+        sector: int,
+        cand: int,
+        cand_pos: Point,
+        d_q_cand: float,
+        nn: Optional[int],
+        nn_dist: float = math.nan,
+    ) -> CircRecord:
+        """Create or replace the circ-region of ``(qid, sector)``.
+
+        ``nn is None`` declares the candidate a true RNN (radius is the
+        candidate-query distance); otherwise ``nn_dist`` is the distance
+        from the candidate to the certificate object.
+        Emits result-change events for any RNN-status transition.
+        """
+        key = (qid, sector)
+        old = self._records.get(key)
+        radius = d_q_cand if nn is None else nn_dist
+        rec = CircRecord(qid, sector, cand, d_q_cand, nn, radius)
+        self._emit_transition(qid, old, rec)
+        self._replace(key, old, rec, cand_pos)
+        return rec
+
+    def remove_circ(self, qid: int, sector: int) -> None:
+        """Drop the circ-region of ``(qid, sector)`` (e.g. sector emptied)."""
+        key = (qid, sector)
+        old = self._records.pop(key, None)
+        if old is None:
+            return
+        self._emit_transition(qid, old, None)
+        self._replace(key, old, None, None)
+
+    def _emit_transition(
+        self, qid: int, old: Optional[CircRecord], new: Optional[CircRecord]
+    ) -> None:
+        old_rnn = old.cand if (old is not None and old.is_rnn) else None
+        new_rnn = new.cand if (new is not None and new.is_rnn) else None
+        if old_rnn == new_rnn:
+            return
+        if old_rnn is not None:
+            self.stats.result_changes += 1
+            self.emit(ResultChange(qid, old_rnn, gained=False))
+        if new_rnn is not None:
+            self.stats.result_changes += 1
+            self.emit(ResultChange(qid, new_rnn, gained=True))
+
+    # -- subclass hooks ----------------------------------------------------
+    def _replace(
+        self,
+        key: tuple[int, int],
+        old: Optional[CircRecord],
+        new: Optional[CircRecord],
+        cand_pos: Optional[Point],
+    ) -> None:
+        raise NotImplementedError
+
+    def handle_update(
+        self, oid: int, old_pos: Optional[Point], new_pos: Optional[Point]
+    ) -> None:
+        """Process one object location update against the circ-regions."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+    def _exclusions(self, rec: CircRecord) -> set[int]:
+        """Objects a disprover search around ``rec.cand`` must ignore."""
+        excl = set(self.qt.get(rec.qid).exclude)
+        excl.add(rec.cand)
+        return excl
+
+    def _recompute_certificate(self, rec: CircRecord, cand_pos: Point) -> None:
+        """NN-search for a fresh certificate; flips RNN status as needed.
+
+        Called when the previous certificate is gone (its object moved
+        out far enough that the enlarged circle would cover the query,
+        or it was deleted).
+        """
+        self.stats.circ_nn_searches_triggered += 1
+        found = nearest_neighbor(
+            self.grid, cand_pos, exclude=self._exclusions(rec), max_dist=rec.d_q_cand
+        )
+        if found is not None and found[0] < rec.d_q_cand:
+            nn_dist, nn = found
+            self.set_circ(
+                rec.qid, rec.sector, rec.cand, cand_pos, rec.d_q_cand, nn, nn_dist
+            )
+        else:
+            self.set_circ(rec.qid, rec.sector, rec.cand, cand_pos, rec.d_q_cand, None)
+
+
+class FurCircStore(CircStoreBase):
+    """The paper's circ-region store: FUR-tree + NN-Hash (+ partial-insert).
+
+    ``threshold`` is the partial-insert fraction: a circ-region enters
+    the FUR-tree only when its radius is at least ``threshold *
+    d(q, cand)``; smaller circles live only in the record hash and are
+    invisible to containment queries (which is safe — a missed
+    containment hit could only have *shrunk* an already-valid false
+    positive certificate).  ``threshold = 0`` disables partial-insert
+    (the LU-only variant).
+    """
+
+    def __init__(
+        self,
+        grid: GridIndex,
+        query_table: QueryTable,
+        stats: StatCounters,
+        emit: EmitFn,
+        fanout: int = 20,
+        threshold: float = 0.0,
+    ):
+        super().__init__(grid, query_table, stats, emit)
+        self.threshold = threshold
+        self.fur = FURTree(max_entries=fanout, stats=stats)
+        #: NN-Hash: certificate object id -> circ-regions it supports.
+        self.nn_hash: dict[int, set[tuple[int, int]]] = {}
+        #: candidate object id -> its circ-region keys (a candidate may
+        #: serve several queries; the FUR-tree holds one entry per
+        #: candidate whose radius aggregates the in-tree memberships).
+        self.by_cand: dict[int, set[tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Record replacement (updateCand, Fig. 12)
+    # ------------------------------------------------------------------
+    def _replace(
+        self,
+        key: tuple[int, int],
+        old: Optional[CircRecord],
+        new: Optional[CircRecord],
+        cand_pos: Optional[Point],
+    ) -> None:
+        touched_cands: set[int] = set()
+        if old is not None:
+            if old.nn is not None:
+                members = self.nn_hash.get(old.nn)
+                if members is not None:
+                    members.discard(key)
+                    if not members:
+                        del self.nn_hash[old.nn]
+            cand_keys = self.by_cand.get(old.cand)
+            if cand_keys is not None:
+                cand_keys.discard(key)
+                if not cand_keys:
+                    del self.by_cand[old.cand]
+            touched_cands.add(old.cand)
+        if new is not None:
+            self._records[key] = new
+            self.by_cand.setdefault(new.cand, set()).add(key)
+            if new.nn is not None:
+                self.nn_hash.setdefault(new.nn, set()).add(key)
+            touched_cands.add(new.cand)
+        else:
+            self._records.pop(key, None)
+        for cand in touched_cands:
+            pos = cand_pos if (new is not None and cand == new.cand) else None
+            self._refresh_candidate(cand, pos)
+
+    def _refresh_candidate(self, cand: int, cand_pos: Optional[Point]) -> None:
+        """Synchronise the FUR-tree entry of ``cand`` with its memberships.
+
+        Recomputes which memberships qualify for the tree (partial
+        insert), the aggregated entry radius, and the entry position.
+        """
+        keys = self.by_cand.get(cand, ())
+        max_radius = 0.0
+        any_in_fur = False
+        for k in keys:
+            rec = self._records[k]
+            rec.in_fur = rec.radius >= self.threshold * rec.d_q_cand
+            if rec.in_fur:
+                any_in_fur = True
+                if rec.radius > max_radius:
+                    max_radius = rec.radius
+            else:
+                self.stats.partial_insert_hash_hits += 1
+        in_tree = cand in self.fur
+        if not any_in_fur:
+            if in_tree:
+                self.fur.delete_by_id(cand)
+            return
+        if cand_pos is None:
+            known = self.grid.positions.get(cand)
+            if known is not None:
+                cand_pos = known
+            elif in_tree:
+                # Transient state while a deleted candidate's remaining
+                # memberships are being re-assigned: keep the stale
+                # position, the entry disappears once they are gone.
+                cand_pos = self.fur.get_entry(cand).pos
+            else:
+                return
+        if in_tree:
+            entry = self.fur.get_entry(cand)
+            if entry.pos != cand_pos:
+                self.fur.update(cand, cand_pos, max_radius)
+            elif entry.radius != max_radius:
+                self.fur.update_radius(cand, max_radius)
+        else:
+            self.fur.insert(LeafEntry(cand, cand_pos, radius=max_radius))
+
+    # ------------------------------------------------------------------
+    # updateCirc (Fig. 13) with lazy-update
+    # ------------------------------------------------------------------
+    def handle_update(
+        self, oid: int, old_pos: Optional[Point], new_pos: Optional[Point]
+    ) -> None:
+        # Step 1: circ-regions whose certificate is the moving object.
+        for key in list(self.nn_hash.get(oid, ())):
+            rec = self._records[key]
+            cand_pos = self.grid.positions[rec.cand]
+            if new_pos is not None:
+                new_d = dist(new_pos, cand_pos)
+                if new_d < rec.d_q_cand:
+                    # Lazy-update: the certificate still holds; adjust
+                    # the radius without any NN search.
+                    self.stats.circ_lazy_radius_updates += 1
+                    self._adjust_radius(rec, cand_pos, new_d)
+                    continue
+            # The enlarged circle would cover the query (or the
+            # certificate object is gone): only now search for a new NN.
+            self._recompute_certificate(rec, cand_pos)
+
+        # Step 2: circ-regions the new location has entered (containment
+        # query on the FUR-tree; shrinks circles, may kill RNN status).
+        if new_pos is None:
+            return
+        for entry in self.fur.containment_search(new_pos):
+            if entry.oid == oid:
+                continue
+            for key in list(self.by_cand.get(entry.oid, ())):
+                rec = self._records[key]
+                if rec.nn == oid or not rec.in_fur:
+                    continue
+                if oid in self.qt.get(rec.qid).exclude:
+                    continue
+                new_d = dist(new_pos, entry.pos)
+                if new_d < rec.radius:
+                    self.set_circ(
+                        rec.qid, rec.sector, rec.cand, entry.pos,
+                        rec.d_q_cand, oid, new_d,
+                    )
+
+    def _adjust_radius(self, rec: CircRecord, cand_pos: Point, new_radius: float) -> None:
+        """Radius-only change of a record (certificate object moved)."""
+        rec.radius = new_radius
+        self._refresh_candidate(rec.cand, cand_pos)
+
+    # ------------------------------------------------------------------
+    # Validation (used by tests)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        self.fur.validate()
+        tree_ids = {e.oid for e in self.fur.entries()}
+        expected_in_tree: set[int] = set()
+        for key, rec in self._records.items():
+            assert key == (rec.qid, rec.sector), "record key mismatch"
+            assert rec.radius <= rec.d_q_cand + 1e-9
+            if rec.is_rnn:
+                assert rec.radius == rec.d_q_cand
+            else:
+                assert rec.nn in self.grid, "certificate object vanished"
+                assert key in self.nn_hash.get(rec.nn, set())
+            assert key in self.by_cand.get(rec.cand, set())
+            if rec.in_fur:
+                expected_in_tree.add(rec.cand)
+        assert expected_in_tree == tree_ids, (
+            f"FUR-tree contents diverge: {expected_in_tree ^ tree_ids}"
+        )
+        for cand in tree_ids:
+            entry = self.fur.get_entry(cand)
+            assert entry.pos == self.grid.positions[cand]
+            radii = [
+                self._records[k].radius
+                for k in self.by_cand[cand]
+                if self._records[k].in_fur
+            ]
+            assert math.isclose(entry.radius, max(radii)), "stale aggregated radius"
+        for nn, keys in self.nn_hash.items():
+            for key in keys:
+                assert self._records[key].nn == nn

@@ -1,0 +1,74 @@
+"""Monitor configuration and the paper's three method variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.rect import Rect
+
+#: Data space used throughout the paper's experiments (network-generator
+#: coordinates are scaled into it by the workload code).
+DEFAULT_BOUNDS = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+
+#: Variant names (Section 6.3 of the paper).
+UNIFORM = "uniform"
+LU_ONLY = "lu-only"
+LU_PI = "lu+pi"
+
+_VALID_VARIANTS = (UNIFORM, LU_ONLY, LU_PI)
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tuning knobs of a :class:`~repro.core.monitor.CRNNMonitor`.
+
+    ``variant`` selects how circ-regions are stored and maintained:
+
+    * ``"uniform"`` — book-keep circ-regions in grid cells, keep each
+      region tight with an eager NN search on every change (the paper's
+      straw-man);
+    * ``"lu-only"`` — store circ-regions in a global FUR-tree plus
+      NN-Hash, apply only the lazy-update optimisation;
+    * ``"lu+pi"`` — the paper's complete method: lazy-update plus
+      partial-insert with the given threshold.
+    """
+
+    bounds: Rect = field(default=DEFAULT_BOUNDS)
+    grid_cells: int = 128
+    fur_fanout: int = 20
+    variant: str = LU_PI
+    partial_insert_threshold: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.variant not in _VALID_VARIANTS:
+            raise ValueError(f"variant must be one of {_VALID_VARIANTS}, got {self.variant!r}")
+        if not (0.0 < self.partial_insert_threshold < 1.0):
+            raise ValueError("partial_insert_threshold must be in (0, 1)")
+        if self.grid_cells < 1:
+            raise ValueError("grid_cells must be >= 1")
+
+    @property
+    def eager_nn(self) -> bool:
+        """Uniform keeps circ-regions tight with eager NN searches."""
+        return self.variant == UNIFORM
+
+    @property
+    def uses_fur_store(self) -> bool:
+        return self.variant in (LU_ONLY, LU_PI)
+
+    @property
+    def effective_threshold(self) -> float:
+        """Partial-insert threshold; 0 disables it (every circle in the tree)."""
+        return self.partial_insert_threshold if self.variant == LU_PI else 0.0
+
+    @classmethod
+    def uniform(cls, **kwargs) -> "MonitorConfig":
+        return cls(variant=UNIFORM, **kwargs)
+
+    @classmethod
+    def lu_only(cls, **kwargs) -> "MonitorConfig":
+        return cls(variant=LU_ONLY, **kwargs)
+
+    @classmethod
+    def lu_pi(cls, **kwargs) -> "MonitorConfig":
+        return cls(variant=LU_PI, **kwargs)

@@ -1,0 +1,41 @@
+"""Update and result-change event types exchanged with the monitor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class ObjectUpdate:
+    """A location report from an object.
+
+    ``pos is None`` means the object disappears (e.g. a player logging
+    off); a previously unknown ``oid`` with a position is an insertion.
+    """
+
+    oid: int
+    pos: Optional[Point]
+
+
+@dataclass(frozen=True)
+class QueryUpdate:
+    """A location report from a query point (same None/new-id semantics)."""
+
+    qid: int
+    pos: Optional[Point]
+
+
+@dataclass(frozen=True)
+class ResultChange:
+    """One delta of a query's RNN result set."""
+
+    qid: int
+    oid: int
+    gained: bool
+
+    def __str__(self) -> str:
+        sign = "+" if self.gained else "-"
+        return f"q{self.qid}: {sign}o{self.oid}"

@@ -1,0 +1,221 @@
+"""CRNN query initialisation (algorithm *initCRNN*, Fig. 7 of the paper).
+
+Computes, in a single grid traversal, the six constrained NNs of a query
+(its *candidates*), seeded false-positive certificates for them, and the
+initial RNN result — combining SAE's six-partition filter with CPM's
+conceptual rectangles so that cells are visited at most once, only when
+necessary, and concurrently for all six partitions:
+
+* **C1** — every heap key is the distance from the query to the part of
+  the cell/rectangle inside the *unfinished* partitions;
+* **C2** — entries fully inside finished partitions are skipped;
+* **C3** — a de-heaped entry whose key has expired (the unfinished set
+  shrank since it was pushed) is re-inserted with a fresh key instead of
+  being expanded.
+
+The refinement is partially integrated (Step 3.5): every examined object
+is used to disprove existing candidates, so Step 5 only runs NN searches
+for candidates that were never disproved.
+
+Deviation from the paper's Step 3.2 (documented in DESIGN.md): a
+partition is finished when the key exceeds ``d(q, cand_i)`` — the bound
+required for constrained-NN correctness — rather than the circ radius
+``d(nn_cand_i, cand_i)``, which can be strictly smaller and would allow
+the search to stop before a closer candidate (a potential RNN) is found.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geometry.point import Point, dist
+from repro.geometry.sector import NUM_SECTORS, sector_of
+from repro.geometry.wedge import mindist_rect_in_sectors
+from repro.grid.cell import Cell
+from repro.grid.cpm import DIRECTIONS, ConceptualSpace, nearest_neighbor
+from repro.grid.index import GridIndex
+
+_ALL_SECTORS = (1 << NUM_SECTORS) - 1
+_KIND_CELL = 0
+_KIND_RECT = 1
+
+
+@dataclass
+class InitResult:
+    """Outcome of the initialisation for one query point.
+
+    ``nn[i] is None`` with ``cand[i]`` set means the candidate was
+    confirmed as a true RNN (no object strictly nearer than the query).
+    """
+
+    cand: list[Optional[int]] = field(default_factory=lambda: [None] * NUM_SECTORS)
+    d_cand: list[float] = field(default_factory=lambda: [math.inf] * NUM_SECTORS)
+    nn: list[Optional[int]] = field(default_factory=lambda: [None] * NUM_SECTORS)
+    d_nn: list[float] = field(default_factory=lambda: [math.inf] * NUM_SECTORS)
+
+    def rnns(self) -> set[int]:
+        """Candidates confirmed as reverse nearest neighbours."""
+        return {
+            c
+            for c, n in zip(self.cand, self.nn)
+            if c is not None and n is None
+        }
+
+
+def init_crnn(
+    grid: GridIndex,
+    q: Point,
+    exclude: frozenset[int] = frozenset(),
+    eager: bool = False,
+) -> InitResult:
+    """Run *initCRNN* for query point ``q`` over the grid's objects.
+
+    ``eager`` selects the Uniform variant's behaviour: every surviving
+    candidate gets a full bounded NN search so its certificate is its
+    true NN (tight circ-region).
+    """
+    res = InitResult()
+    cand_pos: list[Optional[Point]] = [None] * NUM_SECTORS
+    unfinished = _ALL_SECTORS
+
+    space = ConceptualSpace(grid, q)
+    counter = itertools.count()
+    # Heap entries: (key, tiebreak, kind, payload, mask_at_push)
+    heap: list[tuple[float, int, int, object, int]] = []
+
+    def push_cell(cell: Cell, mask: int) -> None:
+        key = mindist_rect_in_sectors(q, cell.rect, mask)
+        if not math.isinf(key):
+            heapq.heappush(heap, (key, next(counter), _KIND_CELL, cell, mask))
+
+    def push_rect(direction: str, level: int, mask: int) -> None:
+        bounds = space.rect_bounds(direction, level)
+        if bounds is None:
+            return
+        key = mindist_rect_in_sectors(q, bounds, mask)
+        chain_only = math.isinf(key)
+        if chain_only:
+            # The strip misses every unfinished sector at this level (so
+            # none of its cells can either), but a longer strip of the
+            # same direction may re-enter one; keep the chain alive with
+            # the plain mindist as a conservative key.
+            key = bounds.mindist(q)
+        heapq.heappush(
+            heap, (key, next(counter), _KIND_RECT, (direction, level, chain_only), mask)
+        )
+
+    def visit_cell(cell: Cell) -> None:
+        nonlocal unfinished
+        grid.stats.cells_visited += 1
+        for oid in cell.objects:
+            if oid in exclude:
+                continue
+            pos = grid.positions[oid]
+            # Step 3.5 (1): use the object to disprove existing candidates.
+            for j in range(NUM_SECTORS):
+                cj = res.cand[j]
+                if cj is None or cj == oid:
+                    continue
+                d = dist(pos, cand_pos[j])  # type: ignore[arg-type]
+                if d < res.d_cand[j] and d < res.d_nn[j]:
+                    res.nn[j] = oid
+                    res.d_nn[j] = d
+            # Step 3.5 (2): maybe the object is a better candidate.
+            d_oq = dist(q, pos)
+            s = sector_of(q, pos)
+            if d_oq < res.d_cand[s]:
+                demoted = res.cand[s]
+                demoted_pos = cand_pos[s]
+                res.cand[s] = oid
+                res.d_cand[s] = d_oq
+                cand_pos[s] = pos
+                res.nn[s] = None
+                res.d_nn[s] = math.inf
+                # Seed the certificate from known objects: the other
+                # candidates plus the candidate this object just demoted.
+                for j in range(NUM_SECTORS):
+                    other = res.cand[j] if j != s else demoted
+                    other_pos = cand_pos[j] if j != s else demoted_pos
+                    if other is None or other == oid:
+                        continue
+                    d = dist(pos, other_pos)  # type: ignore[arg-type]
+                    if d < d_oq and d < res.d_nn[s]:
+                        res.nn[s] = other
+                        res.d_nn[s] = d
+
+    push_cell(space.center_cell(), unfinished)
+    for direction in DIRECTIONS:
+        push_rect(direction, 0, unfinished)
+
+    while heap and unfinished:
+        key, _, kind, payload, mask = heapq.heappop(heap)
+        grid.stats.heap_pops += 1
+        # Step 3.2: finish partitions whose candidate is provably final.
+        for i in range(NUM_SECTORS):
+            if unfinished & (1 << i) and key > res.d_cand[i]:
+                unfinished &= ~(1 << i)
+        if not unfinished:
+            break
+        # Step 3.3 (C3): refresh expired keys instead of expanding.
+        if kind == _KIND_CELL:
+            if mask != unfinished:
+                cell: Cell = payload  # type: ignore[assignment]
+                cur = mindist_rect_in_sectors(q, cell.rect, unfinished)
+                if math.isinf(cur):
+                    continue  # C2: fully inside finished partitions
+                if cur > key:
+                    heapq.heappush(
+                        heap, (cur, next(counter), _KIND_CELL, cell, unfinished)
+                    )
+                    continue
+            visit_cell(payload)  # type: ignore[arg-type]
+        else:
+            direction, level, chain_only = payload  # type: ignore[misc]
+            if not chain_only and mask != unfinished:
+                bounds = space.rect_bounds(direction, level)
+                assert bounds is not None
+                cur = mindist_rect_in_sectors(q, bounds, unfinished)
+                if math.isinf(cur):
+                    # The strip left the unfinished set: its cells are
+                    # useless, but the chain must stay alive.
+                    chain_only = True
+                elif cur > key:
+                    heapq.heappush(
+                        heap,
+                        (
+                            cur,
+                            next(counter),
+                            _KIND_RECT,
+                            (direction, level, False),
+                            unfinished,
+                        ),
+                    )
+                    continue
+            if not chain_only:
+                for cell in space.cells_of(direction, level):
+                    push_cell(cell, unfinished)
+            push_rect(direction, level + 1, unfinished)
+
+    # Step 5: NN searches for candidates never disproved during the
+    # filter (or for all of them, in eager mode).
+    for i in range(NUM_SECTORS):
+        c = res.cand[i]
+        if c is None:
+            continue
+        if res.nn[i] is None or eager:
+            found = nearest_neighbor(
+                grid,
+                cand_pos[i],  # type: ignore[arg-type]
+                exclude=exclude | {c},
+                max_dist=res.d_cand[i],
+            )
+            if found is not None and found[0] < res.d_cand[i]:
+                res.d_nn[i], res.nn[i] = found
+            else:
+                res.nn[i] = None
+                res.d_nn[i] = math.inf
+    return res

@@ -1,0 +1,364 @@
+"""The public CRNN monitoring facade.
+
+:class:`CRNNMonitor` is the system a downstream user interacts with: it
+owns the grid index, the query table, and the circ-region store of the
+configured variant, routes every object/query location update through
+the incremental algorithms of Sections 4-5 of the paper, and keeps the
+exact RNN result set of every registered query continuously up to date.
+
+Typical use::
+
+    from repro import CRNNMonitor, MonitorConfig, Point
+
+    monitor = CRNNMonitor(MonitorConfig.lu_pi(grid_cells=64))
+    monitor.add_object(1, Point(10.0, 20.0))
+    monitor.add_query(100, Point(12.0, 19.0))
+    monitor.update_object(1, Point(11.0, 19.5))
+    monitor.rnn(100)           # -> frozenset({1})
+    monitor.drain_events()     # -> result deltas since the last drain
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Union
+
+from repro.core.circ_store import CircStoreBase, FurCircStore
+from repro.core.config import MonitorConfig
+from repro.core.events import ObjectUpdate, QueryUpdate, ResultChange
+from repro.core.init_crnn import init_crnn
+from repro.core.query_table import QueryTable
+from repro.core.regions import CircRegion, MonitoringRegion, PieRegion
+from repro.core.stats import StatCounters
+from repro.core.uniform import GridCircStore
+from repro.core.update_pie import (
+    handle_update_pies,
+    register_pie_cells,
+    resolve_pies_batch,
+)
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.sector import NUM_SECTORS
+from repro.grid.index import GridIndex
+
+Update = Union[ObjectUpdate, QueryUpdate]
+
+
+class CRNNMonitor:
+    """Continuously monitors the reverse nearest neighbors of query points."""
+
+    def __init__(self, config: Optional[MonitorConfig] = None):
+        self.config = config if config is not None else MonitorConfig()
+        self.stats = StatCounters()
+        self.grid = GridIndex(self.config.bounds, self.config.grid_cells, self.stats)
+        self.qt = QueryTable()
+        self._results: dict[int, set[int]] = {}
+        # Per-query reference counts behind the result sets.  An object
+        # normally owes its RNN status to exactly one sector record, but
+        # during a batch it can transiently be the (RNN) candidate of
+        # two sectors — e.g. a re-search installs it in its new sector
+        # before the stale record of its old sector is cleared — so
+        # gains/losses must be counted, not just set/unset.
+        self._rnn_counts: dict[int, dict[int, int]] = {}
+        self._events: list[ResultChange] = []
+        self._log_events = True
+        self.circ: CircStoreBase
+        if self.config.uses_fur_store:
+            self.circ = FurCircStore(
+                self.grid,
+                self.qt,
+                self.stats,
+                self._on_result_change,
+                fanout=self.config.fur_fanout,
+                threshold=self.config.effective_threshold,
+            )
+        else:
+            self.circ = GridCircStore(self.grid, self.qt, self.stats, self._on_result_change)
+
+    # ------------------------------------------------------------------
+    # Results and events
+    # ------------------------------------------------------------------
+    def _on_result_change(self, change: ResultChange) -> None:
+        result = self._results.setdefault(change.qid, set())
+        counts = self._rnn_counts.setdefault(change.qid, {})
+        if change.gained:
+            counts[change.oid] = counts.get(change.oid, 0) + 1
+            if counts[change.oid] > 1:
+                return  # already a result through another sector record
+            result.add(change.oid)
+        else:
+            remaining = counts.get(change.oid, 0) - 1
+            if remaining > 0:
+                counts[change.oid] = remaining
+                return  # still a result through another sector record
+            counts.pop(change.oid, None)
+            result.discard(change.oid)
+        if self._log_events:
+            self._events.append(change)
+
+    def rnn(self, qid: int) -> frozenset[int]:
+        """The current exact RNN set of query ``qid``."""
+        return frozenset(self._results[qid])
+
+    def results(self) -> dict[int, frozenset[int]]:
+        """Current results of all queries (qid -> RNN set)."""
+        return {qid: frozenset(res) for qid, res in self._results.items()}
+
+    def drain_events(self) -> list[ResultChange]:
+        """Result deltas accumulated since the previous drain."""
+        events, self._events = self._events, []
+        return events
+
+    # ------------------------------------------------------------------
+    # Object maintenance
+    # ------------------------------------------------------------------
+    def add_object(self, oid: int, pos: Point) -> None:
+        """Register a new object (it may immediately become an RNN)."""
+        self.grid.insert_object(oid, pos)
+        handle_update_pies(self, oid, None, pos)
+        self.circ.handle_update(oid, None, pos)
+
+    def update_object(self, oid: int, new_pos: Point) -> None:
+        """Process a location report; unknown ids are inserted."""
+        if oid not in self.grid:
+            self.add_object(oid, new_pos)
+            return
+        old_pos, _, _ = self.grid.move_object(oid, new_pos)
+        if old_pos == new_pos:
+            return
+        handle_update_pies(self, oid, old_pos, new_pos)
+        self.circ.handle_update(oid, old_pos, new_pos)
+
+    def remove_object(self, oid: int) -> None:
+        """Remove an object from monitoring entirely."""
+        old_pos, _ = self.grid.delete_object(oid)
+        handle_update_pies(self, oid, old_pos, None)
+        self.circ.handle_update(oid, old_pos, None)
+
+    # ------------------------------------------------------------------
+    # Query maintenance
+    # ------------------------------------------------------------------
+    def add_query(self, qid: int, pos: Point, exclude: Iterable[int] = ()) -> frozenset[int]:
+        """Register a long-running CRNN query; returns its initial result.
+
+        ``exclude`` lists object ids this query ignores (commonly the
+        query owner's own object when entities are both).
+        """
+        st = self.qt.add(qid, pos, frozenset(exclude))
+        self._results.setdefault(qid, set())
+        init = init_crnn(self.grid, pos, st.exclude, eager=self.config.eager_nn)
+        for sector in range(NUM_SECTORS):
+            st.cand[sector] = init.cand[sector]
+            st.d_cand[sector] = init.d_cand[sector]
+            register_pie_cells(self, st, sector)
+            cand = init.cand[sector]
+            if cand is not None:
+                self.circ.set_circ(
+                    qid,
+                    sector,
+                    cand,
+                    self.grid.positions[cand],
+                    init.d_cand[sector],
+                    init.nn[sector],
+                    init.d_nn[sector],
+                )
+        return self.rnn(qid)
+
+    def remove_query(self, qid: int) -> None:
+        """Deregister a query and all of its monitoring state."""
+        st = self.qt.remove(qid)
+        for sector in range(NUM_SECTORS):
+            for cell in st.pie_cells[sector]:
+                cell.remove_pie_query(qid, sector)
+            self.circ.remove_circ(qid, sector)
+        self._results.pop(qid, None)
+        self._rnn_counts.pop(qid, None)
+
+    def update_query(self, qid: int, new_pos: Point) -> None:
+        """Move a query point.
+
+        Following the paper (and [Yu et al. 05, Mouratidis et al. 05]),
+        a moving query is re-computed at its new location rather than
+        patched incrementally; the emitted events are the *net* result
+        difference.
+        """
+        self.stats.query_recomputations += 1
+        st = self.qt.get(qid)
+        exclude = st.exclude
+        before = frozenset(self._results.get(qid, ()))
+        self._log_events = False
+        try:
+            self.remove_query(qid)
+            self.add_query(qid, new_pos, exclude)
+        finally:
+            self._log_events = True
+        after = frozenset(self._results.get(qid, ()))
+        for oid in sorted(before - after):
+            self._events.append(ResultChange(qid, oid, gained=False))
+        for oid in sorted(after - before):
+            self._events.append(ResultChange(qid, oid, gained=True))
+
+    # ------------------------------------------------------------------
+    # Batched processing
+    # ------------------------------------------------------------------
+    def process(self, updates: Iterable[Update]) -> list[ResultChange]:
+        """Apply a batch of updates (one monitoring timestamp).
+
+        Object updates are handled with the paper's multiple-update
+        extension of *updatePie*: all grid moves are applied first, then
+        every affected pie-region is modified at most once, then the
+        circ-region store processes the moves; query updates follow.
+        The return value is the combined result delta of the batch.
+        """
+        mark = len(self._events)
+        moves: list[tuple[int, Optional[Point], Optional[Point]]] = []
+        query_updates: list[QueryUpdate] = []
+        for update in updates:
+            if isinstance(update, ObjectUpdate):
+                if update.pos is None:
+                    old_pos, _ = self.grid.delete_object(update.oid)
+                    moves.append((update.oid, old_pos, None))
+                elif update.oid not in self.grid:
+                    self.grid.insert_object(update.oid, update.pos)
+                    moves.append((update.oid, None, update.pos))
+                else:
+                    old_pos, _, _ = self.grid.move_object(update.oid, update.pos)
+                    if old_pos != update.pos:
+                        moves.append((update.oid, old_pos, update.pos))
+            elif isinstance(update, QueryUpdate):
+                query_updates.append(update)
+            else:
+                raise TypeError(f"unsupported update {update!r}")
+        if moves:
+            resolve_pies_batch(self, moves)
+            for oid, old_pos, new_pos in moves:
+                self.circ.handle_update(oid, old_pos, new_pos)
+        for update in query_updates:
+            if update.pos is None:
+                self.remove_query(update.qid)
+            elif update.qid in self.qt:
+                self.update_query(update.qid, update.pos)
+            else:
+                self.add_query(update.qid, update.pos)
+        return self._events[mark:]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def monitoring_region(self, qid: int) -> MonitoringRegion:
+        """The current pie- and circ-regions of a query (Theorem 1 view)."""
+        st = self.qt.get(qid)
+        pies = tuple(
+            PieRegion(st.pos, sector, st.d_cand[sector]) for sector in range(NUM_SECTORS)
+        )
+        circs = []
+        for sector in range(NUM_SECTORS):
+            rec = self.circ.record(qid, sector)
+            if rec is not None:
+                circs.append(
+                    CircRegion(
+                        qid,
+                        sector,
+                        rec.cand,
+                        Circle(self.grid.positions[rec.cand], rec.radius),
+                        rec.nn,
+                    )
+                )
+        return MonitoringRegion(qid, pies, tuple(circs))
+
+    def object_count(self) -> int:
+        return len(self.grid)
+
+    def query_count(self) -> int:
+        return len(self.qt)
+
+    def summary(self) -> dict[str, float]:
+        """Operational snapshot: sizes and average region shapes.
+
+        Useful for capacity dashboards: how many monitoring regions are
+        live, how tight they are, and how big the circ-region store is.
+        """
+        candidates = 0
+        bounded_pies = 0
+        pie_radius_sum = 0.0
+        results = 0
+        for st in self.qt:
+            for sector in range(NUM_SECTORS):
+                if st.cand[sector] is not None:
+                    candidates += 1
+                if not math.isinf(st.d_cand[sector]):
+                    bounded_pies += 1
+                    pie_radius_sum += st.d_cand[sector]
+            results += len(self._results.get(st.qid, ()))
+        return {
+            "objects": float(len(self.grid)),
+            "queries": float(len(self.qt)),
+            "results": float(results),
+            "candidates": float(candidates),
+            "bounded_pies": float(bounded_pies),
+            "avg_pie_radius": (
+                pie_radius_sum / bounded_pies if bounded_pies else 0.0
+            ),
+            "circ_records": float(len(self.circ)),
+        }
+
+    def rebuild(self) -> None:
+        """Recompute every query from scratch (state repair).
+
+        Re-initialises all monitoring regions against the current object
+        snapshot — the escape hatch a long-running deployment wants
+        after suspected state corruption or a config migration.  Result
+        sets are preserved where unchanged; net differences are emitted
+        as events.
+        """
+        for qid in sorted(self.qt.ids()):
+            self.update_query(qid, self.qt.get(qid).pos)
+
+    # ------------------------------------------------------------------
+    # Validation (tests)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Cross-structure consistency checks; raises ``AssertionError``."""
+        self.circ.validate()  # type: ignore[attr-defined]
+        for st in self.qt:
+            for sector in range(NUM_SECTORS):
+                cand = st.cand[sector]
+                rec = self.circ.record(st.qid, sector)
+                if cand is None:
+                    assert rec is None, f"circ without candidate: q{st.qid}/S{sector}"
+                else:
+                    assert rec is not None and rec.cand == cand, "circ/cand mismatch"
+                    assert rec.d_q_cand == st.d_cand[sector]
+                reg_radius = st.pie_reg_radius[sector]
+                assert reg_radius >= st.d_cand[sector] or (
+                    math.isinf(reg_radius) and math.isinf(st.d_cand[sector])
+                ), "registration narrower than the pie"
+                expected = set(
+                    self.grid.cells_intersecting_pie(st.pos, sector, reg_radius)
+                )
+                assert set(st.pie_cells[sector]) == expected, (
+                    f"stale pie cells: q{st.qid}/S{sector}"
+                )
+                needed = set(
+                    self.grid.cells_intersecting_pie(st.pos, sector, st.d_cand[sector])
+                )
+                assert needed <= st.pie_cells[sector], "pie under-registered"
+                for cell in expected:
+                    mask = cell.pie_queries.get(st.qid, 0)
+                    assert mask & (1 << sector), "missing pie registration"
+            derived = self.circ.rnn_set(st.qid)
+            assert frozenset(self._results.get(st.qid, ())) == derived, (
+                f"results diverge for q{st.qid}"
+            )
+            counts = self._rnn_counts.get(st.qid, {})
+            assert set(counts) == set(derived), "count/result mismatch"
+            assert all(v == 1 for v in counts.values()), (
+                "multi-sector RNN count persisted past a batch"
+            )
+        for cell in self.grid.all_cells():
+            for qid, mask in cell.pie_queries.items():
+                assert qid in self.qt, "registration for dead query"
+                for sector in range(NUM_SECTORS):
+                    if mask & (1 << sector):
+                        st = self.qt.get(qid)
+                        assert cell in st.pie_cells[sector], "orphan pie registration"

@@ -1,0 +1,108 @@
+"""Brute-force reference implementations used as test oracles.
+
+:class:`BruteForceMonitor` mirrors the :class:`~repro.core.monitor.CRNNMonitor`
+API but recomputes every result from the RNN definition on demand.  It
+deliberately uses the same distance primitive (``math.hypot`` via
+:func:`repro.geometry.point.dist`) as the incremental monitor so that
+floating-point ties resolve identically in both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.events import ObjectUpdate, QueryUpdate
+from repro.geometry.point import Point, dist
+
+
+def brute_force_rnn(
+    positions: dict[int, Point], q: Point, exclude: Iterable[int] = ()
+) -> frozenset[int]:
+    """Exact monochromatic RNN of ``q`` by definition (O(n^2))."""
+    excluded = frozenset(exclude)
+    ids = [oid for oid in positions if oid not in excluded]
+    result = set()
+    for o in ids:
+        po = positions[o]
+        d_oq = dist(po, q)
+        if not any(dist(po, positions[other]) < d_oq for other in ids if other != o):
+            result.add(o)
+    return frozenset(result)
+
+
+def brute_force_rknn(
+    positions: dict[int, Point], q: Point, k: int, exclude: Iterable[int] = ()
+) -> frozenset[int]:
+    """Exact monochromatic reverse k-NN of ``q`` by definition (O(n^2)).
+
+    ``o`` is a result iff fewer than ``k`` other objects are strictly
+    nearer to ``o`` than ``q`` is.
+    """
+    excluded = frozenset(exclude)
+    ids = [oid for oid in positions if oid not in excluded]
+    result = set()
+    for o in ids:
+        po = positions[o]
+        d_oq = dist(po, q)
+        nearer = sum(
+            1 for other in ids if other != o and dist(po, positions[other]) < d_oq
+        )
+        if nearer < k:
+            result.add(o)
+    return frozenset(result)
+
+
+class BruteForceMonitor:
+    """Recompute-from-scratch CRNN 'monitor' (the correctness oracle)."""
+
+    def __init__(self) -> None:
+        self.positions: dict[int, Point] = {}
+        self.queries: dict[int, tuple[Point, frozenset[int]]] = {}
+
+    # -- objects --------------------------------------------------------
+    def add_object(self, oid: int, pos: Point) -> None:
+        self.positions[oid] = pos
+
+    def update_object(self, oid: int, new_pos: Point) -> None:
+        self.positions[oid] = new_pos
+
+    def remove_object(self, oid: int) -> None:
+        del self.positions[oid]
+
+    # -- queries --------------------------------------------------------
+    def add_query(self, qid: int, pos: Point, exclude: Iterable[int] = ()) -> frozenset[int]:
+        self.queries[qid] = (pos, frozenset(exclude))
+        return self.rnn(qid)
+
+    def update_query(self, qid: int, new_pos: Point) -> None:
+        _, exclude = self.queries[qid]
+        self.queries[qid] = (new_pos, exclude)
+
+    def remove_query(self, qid: int) -> None:
+        del self.queries[qid]
+
+    # -- results ----------------------------------------------------------
+    def rnn(self, qid: int) -> frozenset[int]:
+        pos, exclude = self.queries[qid]
+        return brute_force_rnn(self.positions, pos, exclude)
+
+    def results(self) -> dict[int, frozenset[int]]:
+        return {qid: self.rnn(qid) for qid in self.queries}
+
+    # -- batch API mirroring CRNNMonitor.process -------------------------
+    def process(self, updates: Iterable[ObjectUpdate | QueryUpdate]) -> None:
+        for update in updates:
+            if isinstance(update, ObjectUpdate):
+                if update.pos is None:
+                    self.remove_object(update.oid)
+                else:
+                    self.positions[update.oid] = update.pos
+            elif isinstance(update, QueryUpdate):
+                if update.pos is None:
+                    self.remove_query(update.qid)
+                elif update.qid in self.queries:
+                    self.update_query(update.qid, update.pos)
+                else:
+                    self.add_query(update.qid, update.pos)
+            else:
+                raise TypeError(f"unsupported update {update!r}")

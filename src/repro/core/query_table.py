@@ -1,0 +1,93 @@
+"""The query table (QT): per-query monitoring state.
+
+Following Section 4 of the paper, each registered query point carries,
+for each of its six partitions:
+
+* the candidate (constrained NN) and its distance to the query — these
+  define the **pie-region**; and
+* the set of grid cells currently book-kept for that pie-region.
+
+The circ-region side of the state (``nn_cand`` and the radius) lives in
+the circ-region store (:mod:`repro.core.circ_store`), which is the single
+source of truth for it across all three method variants.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.sector import NUM_SECTORS
+from repro.grid.cell import Cell
+
+
+class QueryState:
+    """Monitoring state of one registered query point."""
+
+    __slots__ = ("qid", "pos", "exclude", "cand", "d_cand", "pie_cells", "pie_reg_radius")
+
+    def __init__(self, qid: int, pos: Point, exclude: frozenset[int] = frozenset()):
+        self.qid = qid
+        self.pos = pos
+        #: Object ids this query ignores entirely (e.g. the player's own
+        #: avatar when queries and objects are the same entities).
+        self.exclude = exclude
+        self.cand: list[Optional[int]] = [None] * NUM_SECTORS
+        self.d_cand: list[float] = [math.inf] * NUM_SECTORS
+        #: Per sector: the grid cells its pie-region is registered in.
+        self.pie_cells: list[set[Cell]] = [set() for _ in range(NUM_SECTORS)]
+        #: Radius the registration currently covers.  Kept >= ``d_cand``
+        #: (over-registration is always safe); hysteresis in
+        #: ``register_pie_cells`` avoids re-registering thousands of
+        #: cells when a border sector oscillates between empty and
+        #: one-object states.
+        self.pie_reg_radius: list[float] = [-1.0] * NUM_SECTORS
+
+    def sector_of_candidate(self, oid: int) -> Optional[int]:
+        """The sector in which ``oid`` is this query's candidate, if any."""
+        for sector in range(NUM_SECTORS):
+            if self.cand[sector] == oid:
+                return sector
+        return None
+
+    def candidate_ids(self) -> Iterator[int]:
+        """All current candidate object ids (at most six)."""
+        for oid in self.cand:
+            if oid is not None:
+                yield oid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryState(q{self.qid} at {self.pos}, cands={self.cand})"
+
+
+class QueryTable:
+    """Registry of all live queries, keyed by query id."""
+
+    def __init__(self) -> None:
+        self._states: dict[int, QueryState] = {}
+
+    def add(self, qid: int, pos: Point, exclude: frozenset[int] = frozenset()) -> QueryState:
+        if qid in self._states:
+            raise KeyError(f"query {qid} already registered")
+        state = QueryState(qid, pos, exclude)
+        self._states[qid] = state
+        return state
+
+    def remove(self, qid: int) -> QueryState:
+        return self._states.pop(qid)
+
+    def get(self, qid: int) -> QueryState:
+        return self._states[qid]
+
+    def __contains__(self, qid: int) -> bool:
+        return qid in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[QueryState]:
+        return iter(self._states.values())
+
+    def ids(self) -> Iterator[int]:
+        return iter(self._states.keys())

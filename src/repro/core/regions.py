@@ -1,0 +1,85 @@
+"""Introspectable monitoring-region descriptions (pie- and circ-regions).
+
+These are *views* assembled on demand from the query table and the
+circ-region store — useful for visualisation, debugging, and the tests
+that check Theorem 1 (no update outside the monitoring region can change
+the result).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point, dist
+from repro.geometry.sector import point_in_sector, sector_of
+
+
+@dataclass(frozen=True)
+class PieRegion:
+    """A pie-region: the wedge of ``sector`` around ``center`` out to ``radius``.
+
+    ``radius`` is infinite for an empty partition (the pie extends to the
+    border of the data space).
+    """
+
+    center: Point
+    sector: int
+    radius: float
+
+    def contains(self, p: Point) -> bool:
+        """Closed containment (boundary included, conservatively)."""
+        if dist(self.center, p) > self.radius:
+            return False
+        return point_in_sector(self.center, p, self.sector)
+
+    @property
+    def bounded(self) -> bool:
+        return not math.isinf(self.radius)
+
+
+@dataclass(frozen=True)
+class CircRegion:
+    """A circ-region: centred at a candidate, with the perimeter on either
+    the query point or an object nearer to the candidate than the query."""
+
+    qid: int
+    sector: int
+    candidate: int
+    circle: Circle
+    nn_cand: Optional[int]
+
+    @property
+    def is_rnn(self) -> bool:
+        """True when the candidate is currently a result (q on perimeter)."""
+        return self.nn_cand is None
+
+    def contains(self, p: Point) -> bool:
+        """Closed containment (conservative for monitoring-region checks)."""
+        return self.circle.contains_closed(p)
+
+
+@dataclass(frozen=True)
+class MonitoringRegion:
+    """The full monitoring region of one query: up to 6 pies + 6 circles."""
+
+    qid: int
+    pies: tuple[PieRegion, ...]
+    circs: tuple[CircRegion, ...]
+
+    def covers(self, p: Point) -> bool:
+        """True when an update at ``p`` could affect this query's result.
+
+        Theorem 1 of the paper: updates strictly outside every pie- and
+        circ-region leave the result unchanged.  The test suite uses this
+        to verify the implementation really is update-complete.
+        """
+        q = self.pies[0].center if self.pies else None
+        if q is not None:
+            sector = sector_of(q, p)
+            for pie in self.pies:
+                if pie.sector == sector and dist(q, p) <= pie.radius:
+                    return True
+        return any(c.contains(p) for c in self.circs)

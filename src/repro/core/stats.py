@@ -1,0 +1,53 @@
+"""Operation counters shared by the index structures and the monitor.
+
+The paper evaluates CPU time, but the *reasons* one variant beats another
+are operation counts: NN searches avoided by lazy-update, FUR-tree
+touches avoided by partial-insert, cells visited by the filter step.
+Every structure in the library increments a shared :class:`StatCounters`
+so benchmarks and ablations can report both time and work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class StatCounters:
+    """Mutable bundle of operation counters."""
+
+    cells_visited: int = 0
+    heap_pops: int = 0
+    nn_searches: int = 0
+    constrained_nn_searches: int = 0
+    containment_queries: int = 0
+    fur_node_accesses: int = 0
+    fur_bottom_up_updates: int = 0
+    fur_topdown_reinserts: int = 0
+    pie_case1: int = 0
+    pie_case2: int = 0
+    pie_case3: int = 0
+    circ_lazy_radius_updates: int = 0
+    circ_nn_searches_triggered: int = 0
+    partial_insert_hash_hits: int = 0
+    query_recomputations: int = 0
+    result_changes: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Current values as a plain dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def diff(self, before: dict[str, int]) -> dict[str, int]:
+        """Per-counter change since ``before`` (a previous snapshot)."""
+        return {name: value - before.get(name, 0) for name, value in self.snapshot().items()}
+
+    def __add__(self, other: "StatCounters") -> "StatCounters":
+        merged = StatCounters()
+        for f in fields(self):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged

@@ -1,0 +1,107 @@
+"""The *Uniform* baseline variant's circ-region store (Section 6.3).
+
+Uniform treats circ-regions exactly like pie-regions: each circ-region is
+book-kept in every grid cell it intersects, and whenever an update
+touches a region the store performs an NN search to keep the circle as
+small as possible (its ``nn_cand`` is always the candidate's true NN).
+
+The paper uses this variant to demonstrate why circ-regions deserve a
+separate store: cell book-keeping churns even when results are stable,
+and the eager NN searches are frequently unnecessary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.circ_store import CircRecord, CircStoreBase, EmitFn
+from repro.core.query_table import QueryTable
+from repro.core.stats import StatCounters
+from repro.geometry.point import Point, dist
+from repro.grid.cell import Cell
+from repro.grid.index import GridIndex
+
+
+class GridCircStore(CircStoreBase):
+    """Circ-regions book-kept in grid cells, kept tight eagerly."""
+
+    def __init__(
+        self,
+        grid: GridIndex,
+        query_table: QueryTable,
+        stats: StatCounters,
+        emit: EmitFn,
+    ):
+        super().__init__(grid, query_table, stats, emit)
+        #: (qid, sector) -> the cells currently carrying its circ-region.
+        self._cells: dict[tuple[int, int], set[Cell]] = {}
+
+    # ------------------------------------------------------------------
+    # Record replacement: re-register the cell book-keeping
+    # ------------------------------------------------------------------
+    def _replace(
+        self,
+        key: tuple[int, int],
+        old: Optional[CircRecord],
+        new: Optional[CircRecord],
+        cand_pos: Optional[Point],
+    ) -> None:
+        old_cells = self._cells.get(key, set())
+        if new is None:
+            self._records.pop(key, None)
+            for cell in old_cells:
+                cell.circ_queries.discard(key)
+            self._cells.pop(key, None)
+            return
+        self._records[key] = new
+        assert cand_pos is not None
+        new_cells = set(self.grid.cells_intersecting_circle(cand_pos, new.radius))
+        for cell in old_cells - new_cells:
+            cell.circ_queries.discard(key)
+        for cell in new_cells - old_cells:
+            cell.circ_queries.add(key)
+        self._cells[key] = new_cells
+
+    # ------------------------------------------------------------------
+    # updateCirc, the expensive way: eager NN on every touch
+    # ------------------------------------------------------------------
+    def handle_update(
+        self, oid: int, old_pos: Optional[Point], new_pos: Optional[Point]
+    ) -> None:
+        touched: set[tuple[int, int]] = set()
+        if old_pos is not None:
+            touched.update(self.grid.cell_at(old_pos).circ_queries)
+        if new_pos is not None:
+            touched.update(self.grid.cell_at(new_pos).circ_queries)
+        for key in touched:
+            rec = self._records.get(key)
+            if rec is None or rec.cand == oid:
+                continue
+            if oid in self.qt.get(rec.qid).exclude:
+                continue
+            cand_pos = self.grid.positions[rec.cand]
+            relevant = rec.nn == oid
+            if not relevant and new_pos is not None:
+                relevant = dist(new_pos, cand_pos) < rec.radius
+            if not relevant and old_pos is not None:
+                relevant = dist(old_pos, cand_pos) < rec.radius
+            if relevant:
+                # Keep the region smallest: always a fresh NN search.
+                self._recompute_certificate(rec, cand_pos)
+
+    # ------------------------------------------------------------------
+    # Validation (used by tests)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        for key, rec in self._records.items():
+            assert key == (rec.qid, rec.sector), "record key mismatch"
+            assert rec.radius <= rec.d_q_cand + 1e-9
+            cand_pos = self.grid.positions[rec.cand]
+            expected = set(self.grid.cells_intersecting_circle(cand_pos, rec.radius))
+            assert self._cells.get(key) == expected, f"stale cells for {key}"
+            for cell in expected:
+                assert key in cell.circ_queries
+        registered = {
+            key for cell in self.grid.all_cells() for key in cell.circ_queries
+        }
+        assert registered <= set(self._records), "orphan circ registrations"

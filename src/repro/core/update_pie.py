@@ -1,0 +1,313 @@
+"""Pie-region maintenance (algorithm *updatePie*, Fig. 9-10 of the paper).
+
+The invariant maintained here is the backbone of the whole monitor:
+**each sector's candidate is, at every instant, the true constrained NN
+of the query in that sector**.  Three cases arise when an object update
+touches a pie-region:
+
+1. an object enters a pie-region — it is strictly nearer than the old
+   candidate (or the sector was empty), so it *is* the new constrained
+   NN: the pie shrinks around it;
+2. a candidate leaves its pie-region (changes sector, moves outward, or
+   is deleted) — the constrained NN must be re-computed from scratch;
+3. a candidate moves within its pie-region (same sector, not farther) —
+   it stays the constrained NN; only the radius and circ-region change.
+
+Every candidate change flows into the circ-region store through
+:func:`set_candidate`, which determines the new circ-region by first
+trying known disprovers (the query's other candidates, the demoted
+candidate, the previous certificate) and only falling back to an NN
+search when none of them proves the candidate a false positive.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+from repro.geometry.sector import NUM_SECTORS, sector_of
+from repro.geometry.wedge import mindist_rect_in_sector
+from repro.grid.cpm import constrained_nn_search, nearest_neighbor
+from repro.core.query_table import QueryState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.monitor import CRNNMonitor
+
+
+def register_pie_cells(monitor: "CRNNMonitor", st: QueryState, sector: int) -> None:
+    """Synchronise the grid book-keeping of one pie-region.
+
+    The registration is kept as a *superset* of the pie (always safe:
+    extra cells only cost a cheap per-update check) with hysteresis, so
+    that a border sector oscillating between empty (unbounded pie) and
+    one-object states does not re-register a sixth of the grid on every
+    flip.  Growth is always exact; a shrink is applied only when the
+    registered radius is at least twice the needed one.
+    """
+    needed = st.d_cand[sector]
+    reg = st.pie_reg_radius[sector]
+    if reg >= 0.0:  # already registered once
+        if needed <= reg:
+            if math.isinf(reg):
+                # Keep a whole-sector registration unless the pie got
+                # genuinely small; border sectors flip often.
+                diag = math.hypot(monitor.grid.bounds.width, monitor.grid.bounds.height)
+                if needed >= diag / 8.0:
+                    return
+            elif needed > reg * 0.5:
+                return
+        # else: growth (or an accepted shrink) — fall through.
+    qid = st.qid
+    new_cells = set(monitor.grid.cells_intersecting_pie(st.pos, sector, needed))
+    old_cells = st.pie_cells[sector]
+    for cell in old_cells - new_cells:
+        cell.remove_pie_query(qid, sector)
+    for cell in new_cells - old_cells:
+        cell.add_pie_query(qid, sector)
+    st.pie_cells[sector] = new_cells
+    st.pie_reg_radius[sector] = needed
+
+
+def determine_certificate(
+    monitor: "CRNNMonitor",
+    st: QueryState,
+    sector: int,
+    cand: int,
+    cand_pos: Point,
+    d_q_cand: float,
+    extra_known: tuple[tuple[Optional[int], Optional[Point]], ...] = (),
+) -> tuple[Optional[int], float]:
+    """Find a disprover for a (new) candidate, cheaply if possible.
+
+    Returns ``(nn, nn_dist)``; ``nn is None`` means no object is strictly
+    nearer to the candidate than the query — the candidate is an RNN.
+
+    In the paper's variants the first attempt scans *known* objects (the
+    query's other candidates, anything in ``extra_known``, and the
+    previous certificate of this sector); a full bounded NN search runs
+    only when no known object disproves the candidate.  In eager mode
+    (Uniform) the NN search always runs so the circ-region stays tight.
+    """
+    grid = monitor.grid
+    if not monitor.config.eager_nn:
+        best: Optional[int] = None
+        best_d = math.inf
+        known: list[tuple[Optional[int], Optional[Point]]] = list(extra_known)
+        for j in range(NUM_SECTORS):
+            other = st.cand[j]
+            if j != sector and other is not None:
+                # A sibling candidate may have been deleted earlier in
+                # the same batch (its sector is resolved later).
+                known.append((other, grid.positions.get(other)))
+        prev = monitor.circ.record(st.qid, sector)
+        if prev is not None and prev.nn is not None and prev.nn in grid:
+            known.append((prev.nn, grid.positions[prev.nn]))
+        for oid, pos in known:
+            if oid is None or oid == cand or pos is None:
+                continue
+            d = dist(cand_pos, pos)
+            if d < d_q_cand and d < best_d:
+                best, best_d = oid, d
+        if best is not None:
+            return best, best_d
+    found = nearest_neighbor(
+        grid, cand_pos, exclude=st.exclude | {cand}, max_dist=d_q_cand
+    )
+    if found is not None and found[0] < d_q_cand:
+        return found[1], found[0]
+    return None, math.inf
+
+
+def set_candidate(
+    monitor: "CRNNMonitor",
+    st: QueryState,
+    sector: int,
+    cand: int,
+    cand_pos: Point,
+    d_q_cand: float,
+    extra_known: tuple[tuple[Optional[int], Optional[Point]], ...] = (),
+) -> None:
+    """Install ``cand`` as the sector's candidate: pie cells + circ-region."""
+    st.cand[sector] = cand
+    st.d_cand[sector] = d_q_cand
+    register_pie_cells(monitor, st, sector)
+    nn, nn_dist = determine_certificate(
+        monitor, st, sector, cand, cand_pos, d_q_cand, extra_known
+    )
+    monitor.circ.set_circ(st.qid, sector, cand, cand_pos, d_q_cand, nn, nn_dist)
+
+
+def clear_candidate(monitor: "CRNNMonitor", st: QueryState, sector: int) -> None:
+    """Empty sector: unbounded pie-region, no circ-region."""
+    st.cand[sector] = None
+    st.d_cand[sector] = math.inf
+    register_pie_cells(monitor, st, sector)
+    monitor.circ.remove_circ(st.qid, sector)
+
+
+def research_sector(
+    monitor: "CRNNMonitor", st: QueryState, sector: int, upper_bound: float = math.inf
+) -> None:
+    """Case 2: re-compute the constrained NN of one sector from scratch.
+
+    ``upper_bound`` is an optional known constrained-NN distance (e.g.
+    the departing candidate's own new distance when it stayed in the
+    sector); the search never needs to look beyond it.
+    """
+    found = constrained_nn_search(
+        monitor.grid, st.pos, sector, exclude=st.exclude, max_dist=upper_bound
+    )
+    if found is None:
+        clear_candidate(monitor, st, sector)
+    else:
+        d_q_cand, cand = found
+        set_candidate(monitor, st, sector, cand, monitor.grid.positions[cand], d_q_cand)
+
+
+def handle_update_pies(
+    monitor: "CRNNMonitor",
+    oid: int,
+    old_pos: Optional[Point],
+    new_pos: Optional[Point],
+) -> None:
+    """Apply one object update to every affected query's pie-regions.
+
+    Must run *after* the grid has been updated (searches see the current
+    world) and *before* the circ-region store processes the update.
+    """
+    affected: set[int] = set()
+    if old_pos is not None:
+        affected.update(monitor.grid.cell_at(old_pos).pie_queries)
+    if new_pos is not None:
+        affected.update(monitor.grid.cell_at(new_pos).pie_queries)
+    for qid in sorted(affected):
+        st = monitor.qt.get(qid)
+        if oid in st.exclude:
+            continue
+        q = st.pos
+        cand_sector = st.sector_of_candidate(oid)
+        if cand_sector is not None:
+            if new_pos is None:
+                monitor.stats.pie_case2 += 1
+                research_sector(monitor, st, cand_sector)
+            else:
+                s_new = sector_of(q, new_pos)
+                d_new = dist(q, new_pos)
+                if s_new == cand_sector and d_new <= st.d_cand[cand_sector]:
+                    # Case 3: the candidate moved within its own pie.
+                    monitor.stats.pie_case3 += 1
+                    set_candidate(monitor, st, cand_sector, oid, new_pos, d_new)
+                else:
+                    # Case 2: the candidate left its pie (different
+                    # sector, or outward past the old radius).  If it
+                    # stayed in the sector its new distance bounds the
+                    # re-search.
+                    monitor.stats.pie_case2 += 1
+                    bound = d_new if s_new == cand_sector else math.inf
+                    research_sector(monitor, st, cand_sector, upper_bound=bound)
+        if new_pos is None:
+            continue
+        s_new = sector_of(q, new_pos)
+        if st.cand[s_new] == oid:
+            continue
+        d_new = dist(q, new_pos)
+        if d_new < st.d_cand[s_new]:
+            # Case 1: the object entered a pie-region; being strictly
+            # nearer than the previous candidate it is the new
+            # constrained NN of this sector.
+            monitor.stats.pie_case1 += 1
+            demoted = st.cand[s_new]
+            extra: tuple[tuple[Optional[int], Optional[Point]], ...] = ()
+            if demoted is not None:
+                extra = ((demoted, monitor.grid.positions[demoted]),)
+            set_candidate(monitor, st, s_new, oid, new_pos, d_new, extra_known=extra)
+
+
+def resolve_pies_batch(
+    monitor: "CRNNMonitor", moves: list[tuple[int, Optional[Point], Optional[Point]]]
+) -> None:
+    """Grouped pie maintenance for a whole update batch.
+
+    The paper's multiple-update extension of *updatePie*: per affected
+    query, the batch's relevant objects are grouped by partition and each
+    pie-region is modified at most once — either by one constrained NN
+    re-search (when its candidate moved away or was deleted) or by
+    installing the nearest updated object that ended up inside it.
+
+    Must run after *all* grid moves of the batch have been applied; every
+    decision below reads final positions from the grid.
+    """
+    grid = monitor.grid
+    affected: dict[int, set[int]] = {}
+    for oid, old_pos, new_pos in moves:
+        for pos in (old_pos, new_pos):
+            if pos is None:
+                continue
+            for qid in grid.cell_at(pos).pie_queries:
+                affected.setdefault(qid, set()).add(oid)
+    for qid in sorted(affected):
+        if qid not in monitor.qt:
+            continue  # removed earlier in the same batch
+        st = monitor.qt.get(qid)
+        q = st.pos
+        # sector -> tightest known re-search bound (inf = unbounded)
+        research: dict[int, float] = {}
+        # sector -> nearest updated object now inside the (old) pie
+        contenders: dict[int, tuple[float, int]] = {}
+        for oid in affected[qid]:
+            if oid in st.exclude:
+                continue
+            cand_sector = st.sector_of_candidate(oid)
+            cur = grid.positions.get(oid)
+            if cand_sector is not None:
+                if cur is None:
+                    research.setdefault(cand_sector, math.inf)
+                    continue
+                s = sector_of(q, cur)
+                d = dist(q, cur)
+                if s == cand_sector and d <= st.d_cand[cand_sector]:
+                    # Case 3 contender: the candidate stayed in its pie.
+                    monitor.stats.pie_case3 += 1
+                    prev = contenders.get(cand_sector)
+                    if prev is None or (d, oid) < prev:
+                        contenders[cand_sector] = (d, oid)
+                else:
+                    monitor.stats.pie_case2 += 1
+                    bound = d if s == cand_sector else math.inf
+                    research[cand_sector] = min(
+                        research.get(cand_sector, math.inf), bound
+                    )
+                    if s != cand_sector and d < st.d_cand[s]:
+                        prev = contenders.get(s)
+                        if prev is None or (d, oid) < prev:
+                            contenders[s] = (d, oid)
+                continue
+            if cur is None:
+                continue
+            s = sector_of(q, cur)
+            if st.cand[s] == oid:
+                continue
+            d = dist(q, cur)
+            if d < st.d_cand[s]:
+                monitor.stats.pie_case1 += 1
+                prev = contenders.get(s)
+                if prev is None or (d, oid) < prev:
+                    contenders[s] = (d, oid)
+        for sector in sorted(research):
+            bound = research[sector]
+            contender = contenders.pop(sector, None)
+            if contender is not None:
+                # Any in-sector updated object bounds the re-search too.
+                bound = min(bound, contender[0])
+            research_sector(monitor, st, sector, upper_bound=bound)
+        for sector in sorted(contenders):
+            d, oid = contenders[sector]
+            demoted = st.cand[sector]
+            extra: tuple[tuple[Optional[int], Optional[Point]], ...] = ()
+            if demoted is not None and demoted != oid:
+                extra = ((demoted, grid.positions[demoted]),)
+            set_candidate(
+                monitor, st, sector, oid, grid.positions[oid], d, extra_known=extra
+            )

@@ -1,0 +1,36 @@
+"""Geometry kernel: points, rectangles, circles, sectors, and wedge math."""
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point, dist, dist_point_segment, dist_sq
+from repro.geometry.rect import Rect
+from repro.geometry.sector import (
+    NUM_SECTORS,
+    SECTOR_ANGLE,
+    point_in_sector,
+    sector_boundary_dirs,
+    sector_of,
+)
+from repro.geometry.wedge import (
+    clip_rect_to_sector,
+    mindist_rect_in_sector,
+    mindist_rect_in_sectors,
+    rect_intersects_pie,
+)
+
+__all__ = [
+    "Circle",
+    "Point",
+    "Rect",
+    "NUM_SECTORS",
+    "SECTOR_ANGLE",
+    "dist",
+    "dist_sq",
+    "dist_point_segment",
+    "sector_of",
+    "sector_boundary_dirs",
+    "point_in_sector",
+    "clip_rect_to_sector",
+    "mindist_rect_in_sector",
+    "mindist_rect_in_sectors",
+    "rect_intersects_pie",
+]

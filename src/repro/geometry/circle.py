@@ -1,0 +1,36 @@
+"""Circles (used for circ-regions and NN/containment reasoning)."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+
+
+class Circle(NamedTuple):
+    """A circle with ``center`` and ``radius``.
+
+    Circ-regions in the CRNN monitor are open circles: an update strictly
+    inside the region affects the bookkeeping, an update exactly on the
+    perimeter (e.g. the query point itself) does not.
+    """
+
+    center: Point
+    radius: float
+
+    def contains_open(self, p: Point) -> bool:
+        """True when ``p`` lies strictly inside the circle."""
+        return dist(self.center, p) < self.radius
+
+    def contains_closed(self, p: Point) -> bool:
+        """True when ``p`` lies inside or on the circle."""
+        return dist(self.center, p) <= self.radius
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True when the closed disk meets the rectangle."""
+        return rect.mindist(self.center) <= self.radius
+
+    def covers_rect(self, rect: Rect) -> bool:
+        """True when the closed disk fully contains the rectangle."""
+        return rect.maxdist(self.center) <= self.radius

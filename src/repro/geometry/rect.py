@@ -1,0 +1,129 @@
+"""Axis-aligned rectangles and point/rect distance computations."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple
+
+from repro.geometry.point import Point
+
+
+class Rect(NamedTuple):
+    """A closed axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    @classmethod
+    def from_point(cls, p: Point) -> "Rect":
+        """Degenerate rectangle covering a single point."""
+        return cls(p[0], p[1], p[0], p[1])
+
+    @classmethod
+    def union_of(cls, rects: Iterable["Rect"]) -> "Rect":
+        """Smallest rectangle enclosing all ``rects`` (which must be non-empty)."""
+        it = iter(rects)
+        first = next(it)
+        xmin, ymin, xmax, ymax = first
+        for r in it:
+            if r.xmin < xmin:
+                xmin = r.xmin
+            if r.ymin < ymin:
+                ymin = r.ymin
+            if r.xmax > xmax:
+                xmax = r.xmax
+            if r.ymax > ymax:
+                ymax = r.ymax
+        return cls(xmin, ymin, xmax, ymax)
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        """Width times height."""
+        return self.width * self.height
+
+    @property
+    def margin(self) -> float:
+        """Half-perimeter; the classic R-tree "margin" metric."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> Point:
+        """Geometric centre of the rectangle."""
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """The four corners in counter-clockwise order."""
+        return (
+            Point(self.xmin, self.ymin),
+            Point(self.xmax, self.ymin),
+            Point(self.xmax, self.ymax),
+            Point(self.xmin, self.ymax),
+        )
+
+    def contains_point(self, p: Point) -> bool:
+        """Closed containment: boundary points count as inside."""
+        return self.xmin <= p[0] <= self.xmax and self.ymin <= p[1] <= self.ymax
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and self.xmax >= other.xmax
+            and self.ymax >= other.ymax
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the closed rectangles share at least one point."""
+        return (
+            self.xmin <= other.xmax
+            and other.xmin <= self.xmax
+            and self.ymin <= other.ymax
+            and other.ymin <= self.ymax
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def extended_to(self, p: Point) -> "Rect":
+        """Smallest rectangle covering ``self`` and ``p``."""
+        return Rect(
+            min(self.xmin, p[0]),
+            min(self.ymin, p[1]),
+            max(self.xmax, p[0]),
+            max(self.ymax, p[1]),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to absorb ``other`` (R-tree choose-subtree metric)."""
+        return self.union(other).area - self.area
+
+    def mindist(self, p: Point) -> float:
+        """Minimum distance from ``p`` to this rectangle (0 if inside)."""
+        dx = max(self.xmin - p[0], 0.0, p[0] - self.xmax)
+        dy = max(self.ymin - p[1], 0.0, p[1] - self.ymax)
+        return math.hypot(dx, dy)
+
+    def maxdist(self, p: Point) -> float:
+        """Maximum distance from ``p`` to any point of this rectangle."""
+        dx = max(abs(p[0] - self.xmin), abs(p[0] - self.xmax))
+        dy = max(abs(p[1] - self.ymin), abs(p[1] - self.ymax))
+        return math.hypot(dx, dy)

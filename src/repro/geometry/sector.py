@@ -1,0 +1,75 @@
+"""The six 60-degree space partitions around a query point (SAE partitioning).
+
+Following Stanoi et al. (SAE), the plane around a query point ``q`` is
+divided into six equal sectors ``S0 .. S5`` of 60 degrees each.  ``S0``
+spans angles ``[0, 60)`` measured counter-clockwise from the positive x
+axis, ``S1`` spans ``[60, 120)``, and so on.  The key property (used
+throughout the paper) is that within one sector, an object nearer to
+``q`` is also nearer to any farther object of the same sector than ``q``
+is — hence the constrained NN per sector is the only possible RNN there.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.geometry.point import Point
+
+NUM_SECTORS = 6
+SECTOR_ANGLE = math.pi / 3.0
+
+# Unit direction vectors of the seven boundary rays (ray i bounds sector
+# i from below and sector i-1 from above); index 6 is *exactly* index 0
+# so sector 5's upper boundary coincides bit-for-bit with sector 0's
+# lower one — no sliver of directions can fall between them.
+_BOUNDARY_DIRS: Sequence[tuple[float, float]] = tuple(
+    (math.cos(i * SECTOR_ANGLE), math.sin(i * SECTOR_ANGLE)) for i in range(NUM_SECTORS)
+) + ((1.0, 0.0),)
+
+
+def sector_of(q: Point, p: Point) -> int:
+    """Index (0..5) of the sector around ``q`` that contains ``p``.
+
+    Decided by cross products against the same boundary rays the wedge
+    geometry uses, so membership here and closed-wedge tests elsewhere
+    can never disagree, not even by one ulp.  Points exactly on a
+    boundary ray belong to the sector the ray bounds from below.
+    ``p == q`` is assigned to sector 0 by convention; callers that care
+    about coincident points must handle them explicitly.
+    """
+    vx = p[0] - q[0]
+    vy = p[1] - q[1]
+    if vx == 0.0 and vy == 0.0:
+        return 0
+    d0x, d0y = _BOUNDARY_DIRS[0]
+    side = d0x * vy - d0y * vx
+    for i in range(NUM_SECTORS - 1):
+        d1x, d1y = _BOUNDARY_DIRS[i + 1]
+        next_side = d1x * vy - d1y * vx
+        if side >= 0.0 and next_side < 0.0:
+            return i
+        side = next_side
+    return NUM_SECTORS - 1
+
+
+def sector_boundary_dirs(i: int) -> tuple[tuple[float, float], tuple[float, float]]:
+    """Unit vectors of the two rays bounding sector ``i`` (lower, upper)."""
+    return _BOUNDARY_DIRS[i], _BOUNDARY_DIRS[i + 1]
+
+
+def point_in_sector(q: Point, p: Point, i: int) -> bool:
+    """True when ``p`` lies in the closed sector ``i`` around ``q``.
+
+    The closed test (both boundary rays included) is deliberately looser
+    than :func:`sector_of`; it is used for conservative geometric bounds
+    where admitting the boundary is safe.
+    """
+    vx = p[0] - q[0]
+    vy = p[1] - q[1]
+    if vx == 0.0 and vy == 0.0:
+        return True
+    (d0x, d0y), (d1x, d1y) = sector_boundary_dirs(i)
+    # Inside the convex wedge: counter-clockwise of the lower ray and
+    # clockwise of the upper ray.
+    return (d0x * vy - d0y * vx) >= 0.0 and (d1x * vy - d1y * vx) <= 0.0

@@ -1,0 +1,253 @@
+"""Distance from a query point to the part of a rectangle inside one sector.
+
+The CRNN filter step (Section 4 of the paper, cases C1-C3) needs the
+*mindist between the query and the part of a cell/rectangle outside the
+finished partitions*.  We compute it as the minimum, over unfinished
+sectors, of the distance from the query to ``rect ∩ sector``.
+
+A sector is a convex 60-degree wedge, so ``rect ∩ sector`` is obtained by
+Sutherland-Hodgman clipping of the rectangle against the wedge's two
+half-planes; the distance from the apex to the clipped (convex) polygon
+is then zero if the apex lies inside, else the minimum distance to its
+edges.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.point import Point, dist_point_segment
+from repro.geometry.rect import Rect
+from repro.geometry.sector import NUM_SECTORS, sector_boundary_dirs
+
+#: The seven boundary-ray unit vectors (ray i bounds sector i from below,
+#: sector i-1 from above), shared with :mod:`repro.geometry.sector` so the
+#: fast paths here agree bit-for-bit with the per-sector clipping.
+_BOUNDARY = tuple(
+    sector_boundary_dirs(i)[0] for i in range(NUM_SECTORS)
+) + (sector_boundary_dirs(NUM_SECTORS - 1)[1],)
+
+_Polygon = list[tuple[float, float]]
+
+
+def _clip_halfplane(
+    poly: _Polygon, qx: float, qy: float, dx: float, dy: float, keep_nonnegative: bool
+) -> _Polygon:
+    """Clip ``poly`` against the line through ``(qx, qy)`` with direction ``(dx, dy)``.
+
+    Keeps the side where ``cross(d, p - q)`` is >= 0 (``keep_nonnegative``)
+    or <= 0 (otherwise).
+    """
+    if not poly:
+        return poly
+    out: _Polygon = []
+    n = len(poly)
+    sign = 1.0 if keep_nonnegative else -1.0
+    prev = poly[-1]
+    prev_side = sign * (dx * (prev[1] - qy) - dy * (prev[0] - qx))
+    for cur in poly:
+        cur_side = sign * (dx * (cur[1] - qy) - dy * (cur[0] - qx))
+        if cur_side >= 0.0:
+            if prev_side < 0.0:
+                out.append(_line_intersection(prev, cur, prev_side, cur_side))
+            out.append(cur)
+        elif prev_side >= 0.0:
+            out.append(_line_intersection(prev, cur, prev_side, cur_side))
+        prev, prev_side = cur, cur_side
+    return out
+
+
+def _line_intersection(
+    a: tuple[float, float], b: tuple[float, float], sa: float, sb: float
+) -> tuple[float, float]:
+    """Point where segment ``ab`` crosses the clipping line.
+
+    ``sa``/``sb`` are the signed side values of the endpoints; they are
+    guaranteed to have opposite (non-zero on at least one side) signs.
+    """
+    t = sa / (sa - sb)
+    return (a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))
+
+
+def clip_rect_to_sector(rect: Rect, q: Point, sector: int) -> _Polygon:
+    """The convex polygon ``rect ∩ closed-sector`` (possibly empty)."""
+    (d0x, d0y), (d1x, d1y) = sector_boundary_dirs(sector)
+    poly: _Polygon = [
+        (rect.xmin, rect.ymin),
+        (rect.xmax, rect.ymin),
+        (rect.xmax, rect.ymax),
+        (rect.xmin, rect.ymax),
+    ]
+    poly = _clip_halfplane(poly, q[0], q[1], d0x, d0y, keep_nonnegative=True)
+    poly = _clip_halfplane(poly, q[0], q[1], d1x, d1y, keep_nonnegative=False)
+    return poly
+
+
+def _point_in_convex_polygon(px: float, py: float, poly: _Polygon) -> bool:
+    """Point-in-polygon test for a convex CCW polygon (boundary counts as in).
+
+    Degenerate (near-zero-area) polygons — slivers from clipping a rect
+    that only grazes the wedge — are rejected so callers fall back to
+    edge distances instead of wrongly reporting containment.
+    """
+    n = len(poly)
+    if n < 3:
+        return False
+    area2 = 0.0
+    for i in range(n):
+        ax, ay = poly[i]
+        bx, by = poly[(i + 1) % n]
+        area2 += ax * by - bx * ay
+        if (bx - ax) * (py - ay) - (by - ay) * (px - ax) < 0.0:
+            return False
+    scale = max(abs(v) for p in poly for v in p) + 1.0
+    return abs(area2) > 1e-12 * scale * scale
+
+
+def mindist_rect_in_sector(q: Point, rect: Rect, sector: int) -> float:
+    """Distance from ``q`` to ``rect ∩ sector``; ``inf`` if they are disjoint."""
+    if rect.contains_point(q):
+        # The apex always belongs to its own (closed) wedge.
+        return 0.0
+    # Fast paths: most cells are entirely inside or entirely outside the
+    # wedge, which the corner side-values decide without any clipping.
+    (d0x, d0y), (d1x, d1y) = sector_boundary_dirs(sector)
+    qx, qy = q
+    x0 = rect.xmin - qx
+    y0 = rect.ymin - qy
+    x1 = rect.xmax - qx
+    y1 = rect.ymax - qy
+    # cross(d, corner - q) for the four corners, against both rays.
+    a00 = d0x * y0 - d0y * x0
+    a01 = d0x * y0 - d0y * x1
+    a02 = d0x * y1 - d0y * x1
+    a03 = d0x * y1 - d0y * x0
+    a10 = d1x * y0 - d1y * x0
+    a11 = d1x * y0 - d1y * x1
+    a12 = d1x * y1 - d1y * x1
+    a13 = d1x * y1 - d1y * x0
+    inside0 = a00 >= 0.0 and a01 >= 0.0 and a02 >= 0.0 and a03 >= 0.0
+    inside1 = a10 <= 0.0 and a11 <= 0.0 and a12 <= 0.0 and a13 <= 0.0
+    if inside0 and inside1:
+        return rect.mindist(q)
+    if (a00 < 0.0 and a01 < 0.0 and a02 < 0.0 and a03 < 0.0) or (
+        a10 > 0.0 and a11 > 0.0 and a12 > 0.0 and a13 > 0.0
+    ):
+        return math.inf
+    poly = clip_rect_to_sector(rect, q, sector)
+    if not poly:
+        return math.inf
+    if len(poly) < 3:
+        # Degenerate sliver: the rect only touches the sector along a
+        # segment or point.
+        best = math.inf
+        for i in range(len(poly)):
+            a = Point(*poly[i])
+            b = Point(*poly[(i + 1) % len(poly)]) if len(poly) > 1 else a
+            d = dist_point_segment(q, a, b)
+            if d < best:
+                best = d
+        return best
+    if _point_in_convex_polygon(q[0], q[1], poly):
+        return 0.0
+    best = math.inf
+    n = len(poly)
+    for i in range(n):
+        d = dist_point_segment(q, Point(*poly[i]), Point(*poly[(i + 1) % n]))
+        if d < best:
+            best = d
+    return best
+
+
+def mindist_rect_in_sectors(q: Point, rect: Rect, sectors: int) -> float:
+    """Distance from ``q`` to the part of ``rect`` inside the sector bitmask.
+
+    ``sectors`` is a 6-bit mask of *unfinished* sectors.  When all six
+    bits are set the answer is the plain point/rect mindist.  The corner
+    side-values against the seven boundary rays are computed once and
+    shared across the per-sector inside/outside fast paths.
+    """
+    if sectors == (1 << NUM_SECTORS) - 1:
+        return rect.mindist(q)
+    qx, qy = q
+    x0 = rect.xmin - qx
+    y0 = rect.ymin - qy
+    x1 = rect.xmax - qx
+    y1 = rect.ymax - qy
+    # crosses[i] = side values of the 4 corners against boundary ray i.
+    crosses = []
+    for i in range(NUM_SECTORS + 1):
+        dx, dy = _BOUNDARY[i]
+        crosses.append(
+            (dx * y0 - dy * x0, dx * y0 - dy * x1, dx * y1 - dy * x1, dx * y1 - dy * x0)
+        )
+    best = math.inf
+    for i in range(NUM_SECTORS):
+        if not sectors & (1 << i):
+            continue
+        lo = crosses[i]
+        hi = crosses[i + 1]
+        if (lo[0] < 0.0 and lo[1] < 0.0 and lo[2] < 0.0 and lo[3] < 0.0) or (
+            hi[0] > 0.0 and hi[1] > 0.0 and hi[2] > 0.0 and hi[3] > 0.0
+        ):
+            continue  # rect entirely outside this wedge
+        if (
+            lo[0] >= 0.0
+            and lo[1] >= 0.0
+            and lo[2] >= 0.0
+            and lo[3] >= 0.0
+            and hi[0] <= 0.0
+            and hi[1] <= 0.0
+            and hi[2] <= 0.0
+            and hi[3] <= 0.0
+        ):
+            d = rect.mindist(q)  # rect entirely inside this wedge
+        else:
+            d = mindist_rect_in_sector(q, rect, i)
+        if d < best:
+            best = d
+            if best == 0.0:
+                break
+    return best
+
+
+def rect_maybe_intersects_sector(q: Point, rect: Rect, sector: int) -> bool:
+    """Cheap conservative sector-overlap test (no clipping).
+
+    Returns ``False`` only when the rectangle provably misses the closed
+    wedge (it lies entirely outside one of the two bounding half-planes);
+    a ``True`` may be a false positive for rectangles "behind" the apex
+    that straddle both half-plane boundaries.  Used as a heap filter in
+    the constrained NN search, where a false positive merely costs one
+    wasted visit.
+    """
+    (d0x, d0y), (d1x, d1y) = sector_boundary_dirs(sector)
+    qx, qy = q
+    x0 = rect.xmin - qx
+    y0 = rect.ymin - qy
+    x1 = rect.xmax - qx
+    y1 = rect.ymax - qy
+    if (
+        d0x * y0 - d0y * x0 < 0.0
+        and d0x * y0 - d0y * x1 < 0.0
+        and d0x * y1 - d0y * x1 < 0.0
+        and d0x * y1 - d0y * x0 < 0.0
+    ):
+        return False
+    if (
+        d1x * y0 - d1y * x0 > 0.0
+        and d1x * y0 - d1y * x1 > 0.0
+        and d1x * y1 - d1y * x1 > 0.0
+        and d1x * y1 - d1y * x0 > 0.0
+    ):
+        return False
+    return True
+
+
+def rect_intersects_pie(q: Point, rect: Rect, sector: int, radius: float) -> bool:
+    """True when ``rect`` meets the pie of ``sector`` with the given radius.
+
+    ``radius`` may be ``inf`` for an unbounded pie (empty sector whose
+    pie-region extends to the border of the space).
+    """
+    return mindist_rect_in_sector(q, rect, sector) <= radius

@@ -1,0 +1,25 @@
+"""Uniform grid index and CPM conceptual-partitioning search."""
+
+from repro.grid.cell import Cell
+from repro.grid.cpm import (
+    DIRECTIONS,
+    ConceptualSpace,
+    constrained_knn_search,
+    constrained_nn_search,
+    count_within,
+    nearest_neighbor,
+    nn_search,
+)
+from repro.grid.index import GridIndex
+
+__all__ = [
+    "Cell",
+    "GridIndex",
+    "ConceptualSpace",
+    "DIRECTIONS",
+    "nn_search",
+    "nearest_neighbor",
+    "constrained_nn_search",
+    "constrained_knn_search",
+    "count_within",
+]

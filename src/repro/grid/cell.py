@@ -1,0 +1,67 @@
+"""A single cell of the uniform grid, with per-query book-keeping.
+
+Besides the objects currently inside it, a cell carries the classic
+book-keeping of continuous-query monitors:
+
+* ``pie_queries`` — for each query whose pie-region(s) intersect the
+  cell, a 6-bit mask of which sectors' pies do.  An object update landing
+  in (or leaving) this cell must be checked against exactly these
+  queries.
+* ``circ_queries`` — used only by the *Uniform* baseline variant, which
+  book-keeps circ-regions in the grid too: the set of ``(query_id,
+  sector)`` pairs whose circ-region intersects the cell.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.rect import Rect
+
+
+class Cell:
+    """One grid cell: spatial extent, resident objects, query book-keeping."""
+
+    __slots__ = (
+        "cx",
+        "cy",
+        "rect",
+        "objects",
+        "pie_queries",
+        "circ_queries",
+        "watchers",
+    )
+
+    def __init__(self, cx: int, cy: int, rect: Rect):
+        self.cx = cx
+        self.cy = cy
+        self.rect = rect
+        self.objects: set[int] = set()
+        self.pie_queries: dict[int, int] = {}
+        self.circ_queries: set[tuple[int, int]] = set()
+        #: Generic query book-keeping used by the non-RNN continuous
+        #: monitors (range and CNN): query ids watching this cell.
+        self.watchers: set[int] = set()
+
+    def add_pie_query(self, query_id: int, sector: int) -> None:
+        """Register sector ``sector`` of ``query_id`` as intersecting this cell."""
+        self.pie_queries[query_id] = self.pie_queries.get(query_id, 0) | (1 << sector)
+
+    def remove_pie_query(self, query_id: int, sector: int) -> None:
+        """Drop sector ``sector`` of ``query_id`` from this cell's book-keeping."""
+        mask = self.pie_queries.get(query_id)
+        if mask is None:
+            return
+        mask &= ~(1 << sector)
+        if mask:
+            self.pie_queries[query_id] = mask
+        else:
+            del self.pie_queries[query_id]
+
+    def clear_pie_query(self, query_id: int) -> None:
+        """Drop every sector of ``query_id`` (used when a query is removed)."""
+        self.pie_queries.pop(query_id, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cell({self.cx},{self.cy}, objs={len(self.objects)}, "
+            f"pies={len(self.pie_queries)}, circs={len(self.circ_queries)})"
+        )

@@ -1,0 +1,259 @@
+"""The uniform grid index over moving objects.
+
+The paper indexes objects and queries with a regular grid because more
+complicated structures are too expensive to maintain under a high rate of
+location updates (Section 1).  The grid stores every object's current
+position, maps positions to cells in O(1), and exposes the geometric cell
+enumerations the monitor needs (cells in a rectangle, cells intersecting
+a pie-region, cells intersecting a circle).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.core.stats import StatCounters
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.sector import sector_boundary_dirs
+from repro.grid.cell import Cell
+
+
+class GridIndex:
+    """A uniform grid over a square data space.
+
+    Parameters
+    ----------
+    bounds:
+        The data space.  Objects outside it are clamped to the border
+        cell (their exact positions are still kept).
+    cells_per_axis:
+        Grid resolution; the paper uses 128 x 128.
+    stats:
+        Optional shared operation counters.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        cells_per_axis: int = 128,
+        stats: StatCounters | None = None,
+    ):
+        if cells_per_axis < 1:
+            raise ValueError("cells_per_axis must be >= 1")
+        if bounds.width <= 0 or bounds.height <= 0:
+            raise ValueError("grid bounds must have positive area")
+        self.bounds = bounds
+        self.n = cells_per_axis
+        self.stats = stats if stats is not None else StatCounters()
+        self._cell_w = bounds.width / cells_per_axis
+        self._cell_h = bounds.height / cells_per_axis
+        self._cells: list[Cell] = []
+        for cy in range(cells_per_axis):
+            for cx in range(cells_per_axis):
+                rect = Rect(
+                    bounds.xmin + cx * self._cell_w,
+                    bounds.ymin + cy * self._cell_h,
+                    bounds.xmin + (cx + 1) * self._cell_w,
+                    bounds.ymin + (cy + 1) * self._cell_h,
+                )
+                self._cells.append(Cell(cx, cy, rect))
+        self.positions: dict[int, Point] = {}
+
+    # ------------------------------------------------------------------
+    # Cell addressing
+    # ------------------------------------------------------------------
+    def cell_coords(self, p: Point) -> tuple[int, int]:
+        """Grid coordinates of the cell containing ``p`` (clamped to bounds)."""
+        cx = int((p[0] - self.bounds.xmin) / self._cell_w)
+        cy = int((p[1] - self.bounds.ymin) / self._cell_h)
+        if cx < 0:
+            cx = 0
+        elif cx >= self.n:
+            cx = self.n - 1
+        if cy < 0:
+            cy = 0
+        elif cy >= self.n:
+            cy = self.n - 1
+        return cx, cy
+
+    def cell(self, cx: int, cy: int) -> Cell:
+        """The cell at grid coordinates ``(cx, cy)``."""
+        return self._cells[cy * self.n + cx]
+
+    def cell_at(self, p: Point) -> Cell:
+        """The cell containing point ``p``."""
+        cx, cy = self.cell_coords(p)
+        return self._cells[cy * self.n + cx]
+
+    def all_cells(self) -> Iterator[Cell]:
+        """Every cell of the grid (row-major)."""
+        return iter(self._cells)
+
+    # ------------------------------------------------------------------
+    # Object maintenance
+    # ------------------------------------------------------------------
+    def insert_object(self, oid: int, p: Point) -> Cell:
+        """Insert a new object; returns the cell it landed in."""
+        if oid in self.positions:
+            raise KeyError(f"object {oid} already present; use move_object")
+        self.positions[oid] = p
+        cell = self.cell_at(p)
+        cell.objects.add(oid)
+        return cell
+
+    def delete_object(self, oid: int) -> tuple[Point, Cell]:
+        """Remove an object; returns its last position and cell."""
+        p = self.positions.pop(oid)
+        cell = self.cell_at(p)
+        cell.objects.discard(oid)
+        return p, cell
+
+    def move_object(self, oid: int, new_pos: Point) -> tuple[Point, Cell, Cell]:
+        """Update an object's position; returns (old_pos, old_cell, new_cell)."""
+        old_pos = self.positions[oid]
+        old_cell = self.cell_at(old_pos)
+        new_cell = self.cell_at(new_pos)
+        if old_cell is not new_cell:
+            old_cell.objects.discard(oid)
+            new_cell.objects.add(oid)
+        self.positions[oid] = new_pos
+        return old_pos, old_cell, new_cell
+
+    def position(self, oid: int) -> Point:
+        """Current position of object ``oid``."""
+        return self.positions[oid]
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self.positions
+
+    # ------------------------------------------------------------------
+    # Geometric cell enumerations
+    # ------------------------------------------------------------------
+    def cell_range_for_rect(self, rect: Rect) -> tuple[int, int, int, int]:
+        """Inclusive grid-coordinate range of cells overlapping ``rect``."""
+        cx0, cy0 = self.cell_coords(Point(rect.xmin, rect.ymin))
+        cx1, cy1 = self.cell_coords(Point(rect.xmax, rect.ymax))
+        return cx0, cy0, cx1, cy1
+
+    def cells_in_rect(self, rect: Rect) -> Iterator[Cell]:
+        """Cells whose extent intersects ``rect``."""
+        cx0, cy0, cx1, cy1 = self.cell_range_for_rect(rect)
+        for cy in range(cy0, cy1 + 1):
+            base = cy * self.n
+            for cx in range(cx0, cx1 + 1):
+                yield self._cells[base + cx]
+
+    def cells_intersecting_pie(self, q: Point, sector: int, radius: float) -> Iterator[Cell]:
+        """Cells intersecting the pie of ``sector`` around ``q``.
+
+        ``radius`` may be ``inf``, in which case the pie is the whole
+        sector clipped to the data space (the paper's unbounded
+        pie-region for an empty partition).
+
+        The pie (wedge ∩ disk) is convex, so every grid row meets it in
+        one contiguous x-interval; the enumeration is O(cells yielded)
+        with O(1) work per row, instead of clipping every cell in the
+        bounding box.  The interval is padded by a hair so borderline
+        cells are over- rather than under-registered (over-registration
+        is always safe for monitoring).
+        """
+        if math.isinf(radius):
+            radius = self.bounds.maxdist(q)
+        qx, qy = q
+        (d0x, d0y), (d1x, d1y) = sector_boundary_dirs(sector)
+        tip0 = (qx + radius * d0x, qy + radius * d0y)
+        tip1 = (qx + radius * d1x, qy + radius * d1y)
+        # Extreme points of the pie: apex, the two arc endpoints, and —
+        # for the sectors whose angular range contains 90 or 270 degrees
+        # — the arc's topmost/bottommost point (these angles fall
+        # *inside* sectors 1 and 4 rather than on a boundary ray).
+        extremes = [(qx, qy), tip0, tip1]
+        if sector == 1:
+            extremes.append((qx, qy + radius))
+        elif sector == 4:
+            extremes.append((qx, qy - radius))
+        pad = 1e-9 * (radius + 1.0)
+        y_lo = max(self.bounds.ymin, min(p[1] for p in extremes) - pad)
+        y_hi = min(self.bounds.ymax, max(p[1] for p in extremes) + pad)
+        if y_lo > y_hi:
+            return
+        _, cy0 = self.cell_coords(Point(qx, y_lo))
+        _, cy1 = self.cell_coords(Point(qx, y_hi))
+        r_sq = radius * radius
+        for cy in range(cy0, cy1 + 1):
+            y0 = self.bounds.ymin + cy * self._cell_h
+            y1 = y0 + self._cell_h
+            xs: list[float] = []
+            # Region extreme points inside the strip.
+            for px, py in extremes:
+                if y0 - pad <= py <= y1 + pad:
+                    xs.append(px)
+            # Ray-segment crossings of the strip borders.
+            for dx, dy in ((d0x, d0y), (d1x, d1y)):
+                sy = dy * radius
+                if sy != 0.0:
+                    for yb in (y0, y1):
+                        t = (yb - qy) / sy
+                        if 0.0 <= t <= 1.0:
+                            xs.append(qx + t * radius * dx)
+            # Arc crossings of the strip borders (kept only inside the
+            # closed wedge).
+            for yb in (y0, y1):
+                dyq = yb - qy
+                m = r_sq - dyq * dyq
+                if m >= 0.0:
+                    s = math.sqrt(m)
+                    for px in (qx - s, qx + s):
+                        vx = px - qx
+                        if (d0x * dyq - d0y * vx) >= -pad and (
+                            d1x * dyq - d1y * vx
+                        ) <= pad:
+                            xs.append(px)
+            if not xs:
+                continue
+            xa = max(self.bounds.xmin, min(xs) - pad)
+            xb = min(self.bounds.xmax, max(xs) + pad)
+            if xa > xb:
+                continue
+            cx0, _ = self.cell_coords(Point(xa, y0))
+            cx1, _ = self.cell_coords(Point(xb, y0))
+            base = cy * self.n
+            for cx in range(cx0, cx1 + 1):
+                yield self._cells[base + cx]
+
+    def cells_intersecting_circle(self, center: Point, radius: float) -> Iterator[Cell]:
+        """Cells intersecting the closed disk around ``center``.
+
+        Row-interval enumeration: per row the disk's x-extent is widest
+        at the y nearest the centre, giving O(cells yielded) total work.
+        """
+        qx, qy = center
+        y_lo = max(self.bounds.ymin, qy - radius)
+        y_hi = min(self.bounds.ymax, qy + radius)
+        if y_lo > y_hi:
+            return
+        _, cy0 = self.cell_coords(Point(qx, y_lo))
+        _, cy1 = self.cell_coords(Point(qx, y_hi))
+        r_sq = radius * radius
+        for cy in range(cy0, cy1 + 1):
+            y0 = self.bounds.ymin + cy * self._cell_h
+            y1 = y0 + self._cell_h
+            y_star = qy if y0 <= qy <= y1 else (y0 if abs(y0 - qy) < abs(y1 - qy) else y1)
+            m = r_sq - (y_star - qy) ** 2
+            if m < 0.0:
+                continue
+            half = math.sqrt(m)
+            xa = max(self.bounds.xmin, qx - half)
+            xb = min(self.bounds.xmax, qx + half)
+            if xa > xb:
+                continue
+            cx0, _ = self.cell_coords(Point(xa, y0))
+            cx1, _ = self.cell_coords(Point(xb, y0))
+            base = cy * self.n
+            for cx in range(cx0, cx1 + 1):
+                yield self._cells[base + cx]

@@ -1,0 +1,36 @@
+"""Workload generation: road networks, movers, free-space models, traces."""
+
+from repro.mobility.freespace import (
+    HotspotGenerator,
+    RandomWalkGenerator,
+    WaypointGenerator,
+)
+from repro.mobility.generator import NetworkGenerator
+from repro.mobility.network import (
+    Edge,
+    RoadNetwork,
+    grid_network,
+    oldenburg_like,
+    random_geometric_network,
+)
+from repro.mobility.objects import SPEED_CLASSES, NetworkMover
+from repro.mobility.trace import Trace
+from repro.mobility.workload import QUERY_ID_BASE, Workload, WorkloadSpec
+
+__all__ = [
+    "RoadNetwork",
+    "Edge",
+    "grid_network",
+    "random_geometric_network",
+    "oldenburg_like",
+    "NetworkMover",
+    "SPEED_CLASSES",
+    "NetworkGenerator",
+    "RandomWalkGenerator",
+    "WaypointGenerator",
+    "HotspotGenerator",
+    "Trace",
+    "Workload",
+    "WorkloadSpec",
+    "QUERY_ID_BASE",
+]

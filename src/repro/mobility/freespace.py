@@ -1,0 +1,190 @@
+"""Free-space movement models (non-network alternatives).
+
+The paper's workloads are network-constrained, but monitoring systems
+are routinely evaluated on free-space models too; these generators share
+the :class:`~repro.mobility.generator.NetworkGenerator` interface
+(``positions`` / ``tick``) so every harness and example can swap them
+in:
+
+* :class:`RandomWalkGenerator` — Gaussian jitter steps, reflected at the
+  data-space border (maximal update locality);
+* :class:`WaypointGenerator` — the classic random-waypoint model: pick a
+  destination, travel at a speed-class pace, pause, repeat;
+* :class:`HotspotGenerator` — objects orbit a set of attraction centres
+  and occasionally migrate between them (heavy spatial skew).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+from repro.mobility.objects import SPEED_CLASSES
+
+
+def _clamp_reflect(value: float, lo: float, hi: float) -> float:
+    """Reflect ``value`` into ``[lo, hi]`` (single bounce is enough for
+    steps much smaller than the space)."""
+    if value < lo:
+        value = lo + (lo - value)
+    if value > hi:
+        value = hi - (value - hi)
+    return min(hi, max(lo, value))
+
+
+class _FreeSpaceBase:
+    """Shared id bookkeeping and reporting-fraction logic."""
+
+    def __init__(self, bounds: Rect, count: int, seed: int, first_id: int):
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.bounds = bounds
+        self.rng = random.Random(seed)
+        self._positions: dict[int, Point] = {}
+        self._ids = [first_id + i for i in range(count)]
+
+    def ids(self) -> list[int]:
+        return list(self._ids)
+
+    def positions(self) -> dict[int, Point]:
+        return dict(self._positions)
+
+    def position_of(self, eid: int) -> Optional[Point]:
+        return self._positions.get(eid)
+
+    def tick(self, mobility: float, dt: float = 1.0) -> dict[int, Point]:
+        if not 0.0 <= mobility <= 1.0:
+            raise ValueError("mobility must be within [0, 1]")
+        count = round(mobility * len(self._ids))
+        if count == 0:
+            return {}
+        chosen = self.rng.sample(self._ids, count)
+        out = {}
+        for eid in chosen:
+            self._positions[eid] = self._advance(eid, dt)
+            out[eid] = self._positions[eid]
+        return out
+
+    def _advance(self, eid: int, dt: float) -> Point:
+        raise NotImplementedError
+
+
+class RandomWalkGenerator(_FreeSpaceBase):
+    """Gaussian random walk with border reflection."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        count: int,
+        step_fraction: float = 0.01,
+        seed: int = 0,
+        first_id: int = 0,
+    ):
+        super().__init__(bounds, count, seed, first_id)
+        diag = (bounds.width ** 2 + bounds.height ** 2) ** 0.5
+        self.step = step_fraction * diag
+        for eid in self._ids:
+            self._positions[eid] = Point(
+                self.rng.uniform(bounds.xmin, bounds.xmax),
+                self.rng.uniform(bounds.ymin, bounds.ymax),
+            )
+
+    def _advance(self, eid: int, dt: float) -> Point:
+        p = self._positions[eid]
+        scale = self.step * dt
+        return Point(
+            _clamp_reflect(p.x + self.rng.gauss(0.0, scale), self.bounds.xmin, self.bounds.xmax),
+            _clamp_reflect(p.y + self.rng.gauss(0.0, scale), self.bounds.ymin, self.bounds.ymax),
+        )
+
+
+class WaypointGenerator(_FreeSpaceBase):
+    """Random-waypoint mobility: travel to a target, pause, re-target."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        count: int,
+        speed_classes: tuple[float, ...] = SPEED_CLASSES,
+        pause_ticks: int = 2,
+        seed: int = 0,
+        first_id: int = 0,
+    ):
+        super().__init__(bounds, count, seed, first_id)
+        diag = (bounds.width ** 2 + bounds.height ** 2) ** 0.5
+        self.pause_ticks = pause_ticks
+        self._speed: dict[int, float] = {}
+        self._target: dict[int, Point] = {}
+        self._pause: dict[int, int] = {}
+        for eid in self._ids:
+            self._positions[eid] = self._random_point()
+            self._speed[eid] = self.rng.choice(speed_classes) * diag
+            self._target[eid] = self._random_point()
+            self._pause[eid] = 0
+
+    def _random_point(self) -> Point:
+        return Point(
+            self.rng.uniform(self.bounds.xmin, self.bounds.xmax),
+            self.rng.uniform(self.bounds.ymin, self.bounds.ymax),
+        )
+
+    def _advance(self, eid: int, dt: float) -> Point:
+        if self._pause[eid] > 0:
+            self._pause[eid] -= 1
+            return self._positions[eid]
+        p = self._positions[eid]
+        target = self._target[eid]
+        remaining = dist(p, target)
+        reach = self._speed[eid] * dt
+        if reach >= remaining:
+            self._pause[eid] = self.pause_ticks
+            self._target[eid] = self._random_point()
+            return target
+        t = reach / remaining
+        return Point(p.x + t * (target.x - p.x), p.y + t * (target.y - p.y))
+
+
+class HotspotGenerator(_FreeSpaceBase):
+    """Skewed mobility around attraction centres with rare migrations."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        count: int,
+        hotspots: int = 4,
+        spread_fraction: float = 0.05,
+        migrate_prob: float = 0.02,
+        seed: int = 0,
+        first_id: int = 0,
+    ):
+        super().__init__(bounds, count, seed, first_id)
+        if hotspots < 1:
+            raise ValueError("need at least one hotspot")
+        diag = (bounds.width ** 2 + bounds.height ** 2) ** 0.5
+        self.spread = spread_fraction * diag
+        self.migrate_prob = migrate_prob
+        self.centres = [
+            Point(
+                self.rng.uniform(bounds.xmin, bounds.xmax),
+                self.rng.uniform(bounds.ymin, bounds.ymax),
+            )
+            for _ in range(hotspots)
+        ]
+        self._home: dict[int, int] = {}
+        for eid in self._ids:
+            self._home[eid] = self.rng.randrange(hotspots)
+            self._positions[eid] = self._around(self._home[eid])
+
+    def _around(self, centre_idx: int) -> Point:
+        c = self.centres[centre_idx]
+        return Point(
+            _clamp_reflect(c.x + self.rng.gauss(0.0, self.spread), self.bounds.xmin, self.bounds.xmax),
+            _clamp_reflect(c.y + self.rng.gauss(0.0, self.spread), self.bounds.ymin, self.bounds.ymax),
+        )
+
+    def _advance(self, eid: int, dt: float) -> Point:
+        if self.rng.random() < self.migrate_prob:
+            self._home[eid] = self.rng.randrange(len(self.centres))
+        return self._around(self._home[eid])

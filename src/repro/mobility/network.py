@@ -1,0 +1,250 @@
+"""Road networks for the moving-object generator.
+
+The paper's datasets come from Brinkhoff's network-based generator of
+moving objects fed with the Oldenburg road map.  That map is not
+redistributable here, so this module builds synthetic road networks with
+the same roles: a planar, connected graph whose edges objects travel
+along.  Two families are provided:
+
+* :func:`grid_network` — a perturbed lattice with randomly removed edges
+  and added diagonals (city-core street pattern);
+* :func:`random_geometric_network` — a random geometric graph restricted
+  to its largest connected component (organic suburb pattern, built with
+  :mod:`networkx` when available, natively otherwise).
+
+:func:`oldenburg_like` composes a default medium-sized network used by
+the benchmark workloads.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import NamedTuple, Optional, Sequence
+
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+
+
+class Edge(NamedTuple):
+    """An undirected road segment between two node indices."""
+
+    u: int
+    v: int
+    length: float
+
+
+class RoadNetwork:
+    """A connected road graph with node coordinates inside ``bounds``."""
+
+    def __init__(self, nodes: Sequence[Point], edges: Sequence[tuple[int, int]], bounds: Rect):
+        if not nodes:
+            raise ValueError("network needs at least one node")
+        self.bounds = bounds
+        self.nodes: list[Point] = list(nodes)
+        self.edges: list[Edge] = []
+        self.adjacency: list[list[int]] = [[] for _ in self.nodes]
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                continue
+            seen.add(key)
+            length = dist(self.nodes[u], self.nodes[v])
+            if length == 0.0:
+                continue
+            eid = len(self.edges)
+            self.edges.append(Edge(u, v, length))
+            self.adjacency[u].append(eid)
+            self.adjacency[v].append(eid)
+        if not self.edges:
+            raise ValueError("network needs at least one edge")
+
+    # ------------------------------------------------------------------
+    def position_on_edge(self, eid: int, offset: float, from_node: int) -> Point:
+        """Point at ``offset`` along edge ``eid`` starting from ``from_node``."""
+        edge = self.edges[eid]
+        if from_node == edge.u:
+            a, b = self.nodes[edge.u], self.nodes[edge.v]
+        else:
+            a, b = self.nodes[edge.v], self.nodes[edge.u]
+        t = 0.0 if edge.length == 0 else min(1.0, max(0.0, offset / edge.length))
+        return Point(a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))
+
+    def other_end(self, eid: int, node: int) -> int:
+        edge = self.edges[eid]
+        return edge.v if node == edge.u else edge.u
+
+    def edges_at(self, node: int) -> list[int]:
+        return self.adjacency[node]
+
+    def random_edge_position(self, rng: random.Random) -> tuple[int, int, float]:
+        """A uniform random ``(eid, from_node, offset)`` along the network."""
+        eid = rng.randrange(len(self.edges))
+        edge = self.edges[eid]
+        from_node = edge.u if rng.random() < 0.5 else edge.v
+        return eid, from_node, rng.random() * edge.length
+
+    def is_connected(self) -> bool:
+        """Breadth-first connectivity check (used by tests)."""
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for eid in self.adjacency[node]:
+                other = self.other_end(eid, node)
+                if other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        return len(seen) == len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoadNetwork({len(self.nodes)} nodes, {len(self.edges)} edges)"
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    bounds: Rect,
+    jitter: float = 0.25,
+    drop_fraction: float = 0.1,
+    diagonal_fraction: float = 0.08,
+    rng: Optional[random.Random] = None,
+) -> RoadNetwork:
+    """A perturbed street lattice.
+
+    ``jitter`` displaces nodes by up to that fraction of the cell pitch;
+    ``drop_fraction`` removes random lattice edges (without breaking
+    connectivity); ``diagonal_fraction`` adds shortcut diagonals.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid network needs at least 2x2 nodes")
+    rng = rng if rng is not None else random.Random(0)
+    dx = bounds.width / (cols - 1)
+    dy = bounds.height / (rows - 1)
+    nodes: list[Point] = []
+    for r in range(rows):
+        for c in range(cols):
+            jx = rng.uniform(-jitter, jitter) * dx if 0 < c < cols - 1 else 0.0
+            jy = rng.uniform(-jitter, jitter) * dy if 0 < r < rows - 1 else 0.0
+            nodes.append(Point(bounds.xmin + c * dx + jx, bounds.ymin + r * dy + jy))
+
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    lattice: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                lattice.append((nid(r, c), nid(r, c + 1)))
+            if r + 1 < rows:
+                lattice.append((nid(r, c), nid(r + 1, c)))
+    # Drop edges while preserving connectivity (spanning tree kept).
+    rng.shuffle(lattice)
+    keep = _spanning_tree_edges(len(nodes), lattice)
+    removable = [e for e in lattice if e not in keep]
+    drop_count = int(len(lattice) * drop_fraction)
+    edges = list(keep) + removable[drop_count:]
+    # Shortcut diagonals.
+    diag_count = int(len(lattice) * diagonal_fraction)
+    for _ in range(diag_count):
+        r = rng.randrange(rows - 1)
+        c = rng.randrange(cols - 1)
+        if rng.random() < 0.5:
+            edges.append((nid(r, c), nid(r + 1, c + 1)))
+        else:
+            edges.append((nid(r, c + 1), nid(r + 1, c)))
+    return RoadNetwork(nodes, edges, bounds)
+
+
+def _spanning_tree_edges(
+    n_nodes: int, edges: Sequence[tuple[int, int]]
+) -> set[tuple[int, int]]:
+    """Edges of a spanning forest (union-find over the given edge order)."""
+    parent = list(range(n_nodes))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    tree: set[tuple[int, int]] = set()
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            tree.add((u, v))
+    return tree
+
+
+def random_geometric_network(
+    n: int,
+    bounds: Rect,
+    radius_fraction: float = 0.12,
+    rng: Optional[random.Random] = None,
+) -> RoadNetwork:
+    """Largest connected component of a random geometric graph.
+
+    Nodes are uniform in ``bounds``; nodes within ``radius_fraction`` of
+    the space diagonal are connected.  Grows the radius until the giant
+    component covers at least half the nodes.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    points = [
+        Point(rng.uniform(bounds.xmin, bounds.xmax), rng.uniform(bounds.ymin, bounds.ymax))
+        for _ in range(n)
+    ]
+    diag = math.hypot(bounds.width, bounds.height)
+    radius = radius_fraction * diag
+    while True:
+        edges = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if dist(points[i], points[j]) <= radius
+        ]
+        component = _largest_component(n, edges)
+        if len(component) >= max(2, n // 2):
+            break
+        radius *= 1.3
+    index = {old: new for new, old in enumerate(sorted(component))}
+    nodes = [points[old] for old in sorted(component)]
+    kept = [
+        (index[u], index[v]) for u, v in edges if u in component and v in component
+    ]
+    return RoadNetwork(nodes, kept, bounds)
+
+
+def _largest_component(n_nodes: int, edges: Sequence[tuple[int, int]]) -> set[int]:
+    parent = list(range(n_nodes))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    groups: dict[int, set[int]] = {}
+    for node in range(n_nodes):
+        groups.setdefault(find(node), set()).add(node)
+    return max(groups.values(), key=len)
+
+
+def oldenburg_like(
+    bounds: Rect, rng: Optional[random.Random] = None
+) -> RoadNetwork:
+    """The default benchmark network: a medium perturbed street grid.
+
+    Plays the role of the Oldenburg road map in the paper's setup — a
+    connected street network objects and queries move along.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    return grid_network(24, 24, bounds, jitter=0.3, drop_fraction=0.12,
+                        diagonal_fraction=0.1, rng=rng)

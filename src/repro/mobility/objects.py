@@ -1,0 +1,59 @@
+"""Network-constrained moving entities (Brinkhoff-style kinematics).
+
+Each entity occupies a position along one edge of a road network, moves
+with a speed drawn from its speed class, and picks a random outgoing
+edge whenever it reaches a junction (avoiding immediate U-turns unless
+stuck at a dead end).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.geometry.point import Point
+from repro.mobility.network import RoadNetwork
+
+#: Speed classes as fractions of the space diagonal per timestamp,
+#: loosely mirroring Brinkhoff's slow/medium/fast vehicle classes.
+SPEED_CLASSES = (0.002, 0.005, 0.01)
+
+
+class NetworkMover:
+    """One entity travelling along a road network."""
+
+    __slots__ = ("network", "eid", "from_node", "offset", "speed")
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        rng: random.Random,
+        speed_classes: tuple[float, ...] = SPEED_CLASSES,
+    ):
+        self.network = network
+        self.eid, self.from_node, self.offset = network.random_edge_position(rng)
+        diag = (network.bounds.width ** 2 + network.bounds.height ** 2) ** 0.5
+        self.speed = rng.choice(speed_classes) * diag
+
+    @property
+    def position(self) -> Point:
+        return self.network.position_on_edge(self.eid, self.offset, self.from_node)
+
+    def advance(self, rng: random.Random, dt: float = 1.0) -> Point:
+        """Move for ``dt`` timestamps and return the new position."""
+        remaining = self.speed * dt
+        while remaining > 0.0:
+            edge_len = self.network.edges[self.eid].length
+            to_end = edge_len - self.offset
+            if remaining < to_end:
+                self.offset += remaining
+                break
+            # Reached a junction: consume the distance and turn.
+            remaining -= to_end
+            node = self.network.other_end(self.eid, self.from_node)
+            choices = [e for e in self.network.edges_at(node) if e != self.eid]
+            if not choices:
+                choices = [self.eid]  # dead end: turn around
+            self.eid = rng.choice(choices)
+            self.from_node = node
+            self.offset = 0.0
+        return self.position

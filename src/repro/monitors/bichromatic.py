@@ -1,0 +1,232 @@
+"""Continuous *bichromatic* reverse nearest neighbor monitoring.
+
+The paper restricts itself to the monochromatic case; the bichromatic
+case is the natural companion (and the one Korn & Muthukrishnan's
+influence sets came from): objects and *sites* are different entity
+sets, and the bichromatic RNNs of a site ``s`` are the objects that are
+strictly nearer to ``s`` than to any other site::
+
+    BRNN(s) = { o in O : for all s' != s,  dist(o, s) < dist(o, s') }
+
+Equivalently: the objects whose (strict) nearest site is ``s``.  This
+admits a far simpler monitoring scheme than the monochromatic query —
+each object carries one *assignment circle* centred at itself with its
+nearest site on the perimeter:
+
+* when an **object** moves, only its own assignment needs recomputation
+  (one NN search over the *site* grid);
+* when a **site** appears or moves, the objects it can steal are exactly
+  those whose assignment circle strictly contains the new position — a
+  containment query on a FUR-tree over the assignment circles (the same
+  structure the paper uses for circ-regions);
+* when a site disappears, its currently assigned objects re-search.
+
+Ties (an object equidistant to its two nearest sites) belong to *no*
+site, matching the strict definition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.events import ObjectUpdate, QueryUpdate, ResultChange
+from repro.core.stats import StatCounters
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+from repro.grid.cpm import nn_search
+from repro.grid.index import GridIndex
+from repro.rtree.furtree import FURTree
+from repro.rtree.node import LeafEntry
+
+
+class BichromaticRnnMonitor:
+    """Continuously monitors BRNN(s) for every registered site ``s``."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        grid_cells: int = 64,
+        fur_fanout: int = 20,
+        stats: StatCounters | None = None,
+    ):
+        self.stats = stats if stats is not None else StatCounters()
+        self.sites_grid = GridIndex(bounds, grid_cells, self.stats)
+        self.objects: dict[int, Point] = {}
+        #: object -> its strict nearest site (None on a tie or no sites)
+        self.assignment: dict[int, Optional[int]] = {}
+        #: assignment circles, centred at objects, radius = distance to
+        #: the nearest site (strictly nearest or tied).
+        self.circles = FURTree(max_entries=fur_fanout, stats=self.stats)
+        self._results: dict[int, set[int]] = {}
+        #: Objects currently unassigned because two sites are exactly
+        #: tied for them; any site mutation can break such a tie, so
+        #: they are re-checked on every site change (ties are rare).
+        self._tied: set[int] = set()
+        self._events: list[ResultChange] = []
+
+    # ------------------------------------------------------------------
+    # Sites (the query side)
+    # ------------------------------------------------------------------
+    def add_site(self, sid: int, pos: Point) -> frozenset[int]:
+        """Register a site; returns the objects it immediately wins."""
+        if sid in self.sites_grid:
+            raise KeyError(f"site {sid} already registered")
+        self._results[sid] = set()
+        # Steal every object whose assignment circle contains the new
+        # site: strictly inside means the new site is strictly nearer;
+        # exactly on the perimeter creates a tie.  Objects with no site
+        # so far carry effectively-infinite circles and are covered too.
+        affected = [e.oid for e in self.circles.containment_search(pos, closed=True)]
+        self.sites_grid.insert_object(sid, pos)
+        for oid in affected:
+            self._reassign(oid)
+        return frozenset(self._results[sid])
+
+    def remove_site(self, sid: int) -> None:
+        self.sites_grid.delete_object(sid)
+        orphans = list(self._results.pop(sid, ()))
+        for oid in orphans:
+            self._reassign(oid)
+        for oid in list(self._tied):
+            self._reassign(oid)
+
+    def update_site(self, sid: int, new_pos: Point) -> None:
+        """Move a site: it may lose all its objects and win others."""
+        old_assigned = list(self._results.get(sid, ()))
+        self.sites_grid.move_object(sid, new_pos)
+        for oid in old_assigned:
+            self._reassign(oid)
+        for entry in self.circles.containment_search(new_pos, closed=True):
+            if self.assignment.get(entry.oid) != sid:
+                self._reassign(entry.oid)
+        for oid in list(self._tied):
+            self._reassign(oid)
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+    def add_object(self, oid: int, pos: Point) -> None:
+        if oid in self.objects:
+            raise KeyError(f"object {oid} already present")
+        self.objects[oid] = pos
+        self.assignment[oid] = None
+        self.circles.insert(LeafEntry(oid, pos, radius=_HUGE))
+        self._reassign(oid)
+
+    def update_object(self, oid: int, new_pos: Point) -> None:
+        if oid not in self.objects:
+            self.add_object(oid, new_pos)
+            return
+        self.objects[oid] = new_pos
+        self.circles.update(oid, new_pos)
+        self._reassign(oid)
+
+    def remove_object(self, oid: int) -> None:
+        del self.objects[oid]
+        self.circles.delete_by_id(oid)
+        self._tied.discard(oid)
+        old = self.assignment.pop(oid)
+        if old is not None:
+            self._results[old].discard(oid)
+            self._events.append(ResultChange(old, oid, gained=False))
+
+    # ------------------------------------------------------------------
+    # Batch API and results
+    # ------------------------------------------------------------------
+    def process(self, updates: Iterable[ObjectUpdate | QueryUpdate]) -> list[ResultChange]:
+        mark = len(self._events)
+        for update in updates:
+            if isinstance(update, ObjectUpdate):
+                if update.pos is None:
+                    self.remove_object(update.oid)
+                else:
+                    self.update_object(update.oid, update.pos)
+            elif isinstance(update, QueryUpdate):
+                if update.pos is None:
+                    self.remove_site(update.qid)
+                elif update.qid in self.sites_grid:
+                    self.update_site(update.qid, update.pos)
+                else:
+                    self.add_site(update.qid, update.pos)
+            else:
+                raise TypeError(f"unsupported update {update!r}")
+        return self._events[mark:]
+
+    def brnn(self, sid: int) -> frozenset[int]:
+        """The current bichromatic RNN set of site ``sid``."""
+        return frozenset(self._results[sid])
+
+    def results(self) -> dict[int, frozenset[int]]:
+        return {sid: frozenset(v) for sid, v in self._results.items()}
+
+    def nearest_site(self, oid: int) -> Optional[int]:
+        """The object's strict nearest site (None on a tie or no sites)."""
+        return self.assignment[oid]
+
+    def drain_events(self) -> list[ResultChange]:
+        events, self._events = self._events, []
+        return events
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _reassign(self, oid: int) -> None:
+        """Recompute one object's nearest site and its assignment circle."""
+        pos = self.objects[oid]
+        found = nn_search(self.sites_grid, pos, k=2)
+        tied = False
+        if not found:
+            new_site: Optional[int] = None
+            radius = _HUGE
+        else:
+            best_d, best_site = found[0]
+            if len(found) > 1 and found[1][0] == best_d:
+                new_site = None  # exact tie: no strictly nearest site
+                tied = True
+            else:
+                new_site = best_site
+            radius = best_d
+        if tied:
+            self._tied.add(oid)
+        else:
+            self._tied.discard(oid)
+        self.circles.update_radius(oid, radius)
+        old_site = self.assignment[oid]
+        if old_site == new_site:
+            return
+        self.assignment[oid] = new_site
+        if old_site is not None and old_site in self._results:
+            # (the old site may already be deregistered: remove_site
+            # pops its result set before re-assigning its orphans)
+            self._results[old_site].discard(oid)
+            self._events.append(ResultChange(old_site, oid, gained=False))
+        if new_site is not None:
+            self._results[new_site].add(oid)
+            self._events.append(ResultChange(new_site, oid, gained=True))
+
+    def validate(self) -> None:
+        """Exactness check against brute force (tests)."""
+        self.circles.validate()
+        for oid, pos in self.objects.items():
+            dists = sorted(
+                (dist(pos, self.sites_grid.positions[sid]), sid)
+                for sid in self.sites_grid.positions
+            )
+            if not dists:
+                expected = None
+            elif len(dists) > 1 and dists[0][0] == dists[1][0]:
+                expected = None
+            else:
+                expected = dists[0][1]
+            assert self.assignment[oid] == expected, f"assignment of o{oid} stale"
+            truly_tied = len(dists) > 1 and dists[0][0] == dists[1][0]
+            assert (oid in self._tied) == truly_tied, f"tie tracking stale for o{oid}"
+        for sid, members in self._results.items():
+            assert members == {
+                oid for oid, s in self.assignment.items() if s == sid
+            }, f"result of site {sid} diverged"
+
+
+#: Radius used for "no site yet" circles: effectively infinite but finite
+#: so the FUR-tree aggregates stay numeric.
+_HUGE = 1e18

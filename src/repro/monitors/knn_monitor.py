@@ -1,0 +1,204 @@
+"""Continuous k-NN monitoring (the CPM setting, Mouratidis et al. SIGMOD'05).
+
+The paper's Section 3 contrasts the CRNN monitoring region against the
+CNN query's: *a circle centred at the query with the k-th NN on the
+perimeter*.  This module implements that classic monitor on our grid —
+both as the related-work system and as a library feature in its own
+right (the machinery already exists: grid, CPM search, cell
+book-keeping).
+
+Results are deterministic under ties via ``(distance, oid)`` ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.core.events import ObjectUpdate, ResultChange
+from repro.core.stats import StatCounters
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+from repro.grid.cell import Cell
+from repro.grid.cpm import nn_search
+from repro.grid.index import GridIndex
+
+
+class _KnnState:
+    __slots__ = ("qid", "pos", "k", "members", "cells")
+
+    def __init__(self, qid: int, pos: Point, k: int):
+        self.qid = qid
+        self.pos = pos
+        self.k = k
+        #: current result, ascending (distance, oid); length <= k
+        self.members: list[tuple[float, int]] = []
+        self.cells: set[Cell] = set()
+
+    @property
+    def radius(self) -> float:
+        """Monitoring radius: distance of the k-th NN (inf while fewer
+        than k objects exist, i.e. the whole space is watched)."""
+        if len(self.members) < self.k:
+            return math.inf
+        return self.members[-1][0]
+
+    def member_ids(self) -> frozenset[int]:
+        return frozenset(oid for _, oid in self.members)
+
+
+class KnnMonitor:
+    """Continuously monitors the exact k nearest objects of each query."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        grid_cells: int = 64,
+        stats: StatCounters | None = None,
+    ):
+        self.stats = stats if stats is not None else StatCounters()
+        self.grid = GridIndex(bounds, grid_cells, self.stats)
+        self._states: dict[int, _KnnState] = {}
+        self._events: list[ResultChange] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def add_query(self, qid: int, pos: Point, k: int = 1) -> frozenset[int]:
+        if qid in self._states:
+            raise KeyError(f"query {qid} already registered")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        state = _KnnState(qid, pos, k)
+        self._states[qid] = state
+        state.members = nn_search(self.grid, pos, k=k)
+        self._register_cells(state)
+        return state.member_ids()
+
+    def remove_query(self, qid: int) -> None:
+        state = self._states.pop(qid)
+        for cell in state.cells:
+            cell.watchers.discard(qid)
+
+    def update_query(self, qid: int, new_pos: Point) -> None:
+        """Re-anchor a query (recompute, emit the net result diff)."""
+        state = self._states[qid]
+        before = state.member_ids()
+        state.pos = new_pos
+        state.members = nn_search(self.grid, new_pos, k=state.k)
+        self._register_cells(state)
+        self._emit_diff(qid, before, state.member_ids())
+
+    def knn(self, qid: int) -> frozenset[int]:
+        return self._states[qid].member_ids()
+
+    def ordered_knn(self, qid: int) -> list[tuple[float, int]]:
+        return list(self._states[qid].members)
+
+    def drain_events(self) -> list[ResultChange]:
+        events, self._events = self._events, []
+        return events
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+    def add_object(self, oid: int, pos: Point) -> None:
+        self.grid.insert_object(oid, pos)
+        self._handle(oid, None, pos)
+
+    def update_object(self, oid: int, new_pos: Point) -> None:
+        if oid not in self.grid:
+            self.add_object(oid, new_pos)
+            return
+        old_pos, _, _ = self.grid.move_object(oid, new_pos)
+        if old_pos != new_pos:
+            self._handle(oid, old_pos, new_pos)
+
+    def remove_object(self, oid: int) -> None:
+        old_pos, _ = self.grid.delete_object(oid)
+        self._handle(oid, old_pos, None)
+
+    def process(self, updates: Iterable[ObjectUpdate]) -> list[ResultChange]:
+        mark = len(self._events)
+        for update in updates:
+            if update.pos is None:
+                self.remove_object(update.oid)
+            else:
+                self.update_object(update.oid, update.pos)
+        return self._events[mark:]
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def _handle(self, oid: int, old_pos: Optional[Point], new_pos: Optional[Point]) -> None:
+        affected: set[int] = set()
+        for pos in (old_pos, new_pos):
+            if pos is not None:
+                affected.update(self.grid.cell_at(pos).watchers)
+        for qid in sorted(affected):
+            state = self._states[qid]
+            before = state.member_ids()
+            self._apply(state, oid, new_pos)
+            self._emit_diff(qid, before, state.member_ids())
+
+    def _apply(self, state: _KnnState, oid: int, new_pos: Optional[Point]) -> None:
+        member_idx = next(
+            (i for i, (_, m) in enumerate(state.members) if m == oid), None
+        )
+        if member_idx is not None:
+            old_d = state.members[member_idx][0]
+            if new_pos is None:
+                self._research(state)
+                return
+            new_d = dist(state.pos, new_pos)
+            if new_d > old_d and len(state.members) == state.k:
+                # A member moved outward: an untracked outsider may now
+                # be closer — recompute exactly.
+                self._research(state)
+            else:
+                state.members[member_idx] = (new_d, oid)
+                state.members.sort()
+                self._register_cells(state)
+            return
+        if new_pos is None:
+            return
+        key = (dist(state.pos, new_pos), oid)
+        if len(state.members) < state.k:
+            state.members.append(key)
+            state.members.sort()
+            self._register_cells(state)
+        elif key < state.members[-1]:
+            state.members[-1] = key
+            state.members.sort()
+            self._register_cells(state)
+
+    def _research(self, state: _KnnState) -> None:
+        state.members = nn_search(self.grid, state.pos, k=state.k)
+        self._register_cells(state)
+
+    def _register_cells(self, state: _KnnState) -> None:
+        radius = state.radius
+        if math.isinf(radius):
+            new_cells = set(self.grid.all_cells())
+        else:
+            new_cells = set(self.grid.cells_intersecting_circle(state.pos, radius))
+        for cell in state.cells - new_cells:
+            cell.watchers.discard(state.qid)
+        for cell in new_cells - state.cells:
+            cell.watchers.add(state.qid)
+        state.cells = new_cells
+
+    def _emit_diff(self, qid: int, before: frozenset[int], after: frozenset[int]) -> None:
+        for oid in sorted(before - after):
+            self._events.append(ResultChange(qid, oid, gained=False))
+        for oid in sorted(after - before):
+            self._events.append(ResultChange(qid, oid, gained=True))
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Exactness check against brute force (tests)."""
+        for qid, state in self._states.items():
+            truth = sorted(
+                ((dist(state.pos, p), oid) for oid, p in self.grid.positions.items())
+            )[: state.k]
+            assert state.members == truth, f"kNN q{qid} diverged"

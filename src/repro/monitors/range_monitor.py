@@ -1,0 +1,137 @@
+"""Continuous range monitoring (the SINA setting, Mokbel et al. SIGMOD'04).
+
+The simplest continuous spatial query, included both as the related-work
+system the paper contrasts against (its monitoring region is just the
+query range — property 1-3 of Section 3) and as a useful feature: every
+registered query is a rectangle, and the monitor incrementally maintains
+the set of objects inside it under arbitrary location updates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.events import ObjectUpdate, ResultChange
+from repro.core.stats import StatCounters
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.grid.index import GridIndex
+
+
+class RangeMonitor:
+    """Continuously monitors which objects lie inside registered rectangles."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        grid_cells: int = 64,
+        stats: StatCounters | None = None,
+    ):
+        self.stats = stats if stats is not None else StatCounters()
+        self.grid = GridIndex(bounds, grid_cells, self.stats)
+        self.ranges: dict[int, Rect] = {}
+        self._results: dict[int, set[int]] = {}
+        self._events: list[ResultChange] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def add_query(self, qid: int, rect: Rect) -> frozenset[int]:
+        """Register a range query; returns its initial result."""
+        if qid in self.ranges:
+            raise KeyError(f"query {qid} already registered")
+        self.ranges[qid] = rect
+        result = {
+            oid
+            for cell in self.grid.cells_in_rect(rect)
+            for oid in cell.objects
+            if rect.contains_point(self.grid.positions[oid])
+        }
+        self._results[qid] = result
+        for cell in self.grid.cells_in_rect(rect):
+            cell.watchers.add(qid)
+        return frozenset(result)
+
+    def remove_query(self, qid: int) -> None:
+        rect = self.ranges.pop(qid)
+        for cell in self.grid.cells_in_rect(rect):
+            cell.watchers.discard(qid)
+        del self._results[qid]
+
+    def update_query(self, qid: int, rect: Rect) -> None:
+        """Move/resize a range (re-registered; events reflect the net diff)."""
+        before = frozenset(self._results[qid])
+        self.remove_query(qid)
+        self.add_query(qid, rect)
+        after = self._results[qid]
+        for oid in sorted(before - after):
+            self._emit(ResultChange(qid, oid, gained=False))
+        for oid in sorted(after - before):
+            self._emit(ResultChange(qid, oid, gained=True))
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+    def add_object(self, oid: int, pos: Point) -> None:
+        self.grid.insert_object(oid, pos)
+        self._handle(oid, None, pos)
+
+    def update_object(self, oid: int, new_pos: Point) -> None:
+        if oid not in self.grid:
+            self.add_object(oid, new_pos)
+            return
+        old_pos, _, _ = self.grid.move_object(oid, new_pos)
+        self._handle(oid, old_pos, new_pos)
+
+    def remove_object(self, oid: int) -> None:
+        old_pos, _ = self.grid.delete_object(oid)
+        self._handle(oid, old_pos, None)
+
+    def process(self, updates: Iterable[ObjectUpdate]) -> list[ResultChange]:
+        mark = len(self._events)
+        for update in updates:
+            if update.pos is None:
+                self.remove_object(update.oid)
+            else:
+                self.update_object(update.oid, update.pos)
+        return self._events[mark:]
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self, qid: int) -> frozenset[int]:
+        return frozenset(self._results[qid])
+
+    def drain_events(self) -> list[ResultChange]:
+        events, self._events = self._events, []
+        return events
+
+    # ------------------------------------------------------------------
+    def _emit(self, change: ResultChange) -> None:
+        self._events.append(change)
+
+    def _handle(self, oid: int, old_pos: Optional[Point], new_pos: Optional[Point]) -> None:
+        affected: set[int] = set()
+        for pos in (old_pos, new_pos):
+            if pos is not None:
+                affected.update(self.grid.cell_at(pos).watchers)
+        for qid in sorted(affected):
+            rect = self.ranges[qid]
+            inside = new_pos is not None and rect.contains_point(new_pos)
+            result = self._results[qid]
+            if inside and oid not in result:
+                result.add(oid)
+                self._emit(ResultChange(qid, oid, gained=True))
+            elif not inside and oid in result:
+                result.discard(oid)
+                self._emit(ResultChange(qid, oid, gained=False))
+
+    def validate(self) -> None:
+        """Exactness check against a full scan (tests)."""
+        for qid, rect in self.ranges.items():
+            truth = {
+                oid
+                for oid, pos in self.grid.positions.items()
+                if rect.contains_point(pos)
+            }
+            assert self._results[qid] == truth, f"range q{qid} diverged"

@@ -1,0 +1,302 @@
+"""Continuous reverse k-NN monitoring (the paper's k-generalisation).
+
+The paper monitors RNNs (k=1); its machinery generalises because the
+SAE sector lemma does: within one 60-degree sector of ``q``, every
+same-sector object nearer to ``q`` than ``o`` is also nearer to ``o``
+than ``q`` is.  Hence if ``o`` is not among the ``k`` nearest objects of
+its sector, at least ``k`` objects disprove it — **the RkNN results are
+always among the k constrained NNs of each sector** (at most ``6k``
+candidates).
+
+This monitor is a correctness-first implementation of that idea (the
+"future work" of the paper, without re-deriving the LU/PI machinery for
+k-certificates):
+
+* per query and sector it maintains the ``k`` constrained NNs — the
+  pie-region's radius is the distance of the k-th (infinite when the
+  sector holds fewer than ``k`` objects);
+* each candidate ``c`` carries a *verification circle* of radius
+  ``dist(c, q)``; ``c`` is a result iff strictly fewer than ``k``
+  objects lie strictly inside it.  Any update landing inside a
+  verification circle re-verifies that candidate with a bounded
+  counting search (early exit at ``k``).
+
+Both region families are book-kept in grid cells, so the update cost
+stays proportional to the affected regions — the same structure as the
+paper's monitor, with eager (Uniform-style) circle maintenance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Union
+
+from repro.core.events import ObjectUpdate, QueryUpdate, ResultChange
+from repro.core.stats import StatCounters
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+from repro.geometry.sector import NUM_SECTORS, sector_of
+from repro.grid.cell import Cell
+from repro.grid.cpm import constrained_knn_search, count_within
+from repro.grid.index import GridIndex
+
+Update = Union[ObjectUpdate, QueryUpdate]
+
+
+class _RknnQuery:
+    __slots__ = (
+        "qid", "pos", "k", "exclude",
+        "candidates", "pie_radius", "pie_cells",
+        "verified", "circ_cells",
+    )
+
+    def __init__(self, qid: int, pos: Point, k: int, exclude: frozenset[int]):
+        self.qid = qid
+        self.pos = pos
+        self.k = k
+        self.exclude = exclude
+        #: per sector: ascending list of (distance, oid), length <= k
+        self.candidates: list[list[tuple[float, int]]] = [
+            [] for _ in range(NUM_SECTORS)
+        ]
+        self.pie_radius: list[float] = [math.inf] * NUM_SECTORS
+        self.pie_cells: list[set[Cell]] = [set() for _ in range(NUM_SECTORS)]
+        #: verified results and, per candidate, its registered circle cells
+        self.verified: set[int] = set()
+        self.circ_cells: dict[int, set[Cell]] = {}
+
+    def candidate_ids(self) -> set[int]:
+        return {oid for sector in self.candidates for _, oid in sector}
+
+    def sector_of_candidate(self, oid: int) -> Optional[int]:
+        for sector, members in enumerate(self.candidates):
+            if any(m == oid for _, m in members):
+                return sector
+        return None
+
+
+class RknnMonitor:
+    """Continuously monitors the exact reverse k-NNs of each query point."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        grid_cells: int = 64,
+        stats: StatCounters | None = None,
+    ):
+        self.stats = stats if stats is not None else StatCounters()
+        self.grid = GridIndex(bounds, grid_cells, self.stats)
+        self._queries: dict[int, _RknnQuery] = {}
+        self._events: list[ResultChange] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def add_query(
+        self, qid: int, pos: Point, k: int = 1, exclude: Iterable[int] = ()
+    ) -> frozenset[int]:
+        if qid in self._queries:
+            raise KeyError(f"query {qid} already registered")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        state = _RknnQuery(qid, pos, k, frozenset(exclude))
+        self._queries[qid] = state
+        for sector in range(NUM_SECTORS):
+            self._research_sector(state, sector)
+        return frozenset(state.verified)
+
+    def remove_query(self, qid: int) -> None:
+        state = self._queries.pop(qid)
+        for sector in range(NUM_SECTORS):
+            for cell in state.pie_cells[sector]:
+                cell.remove_pie_query(qid, sector)
+        self._unregister_all_circles(state)
+
+    def update_query(self, qid: int, new_pos: Point) -> None:
+        state = self._queries[qid]
+        before = frozenset(state.verified)
+        k, exclude = state.k, state.exclude
+        self.remove_query(qid)
+        self.add_query(qid, new_pos, k, exclude)
+        after = frozenset(self._queries[qid].verified)
+        for oid in sorted(before - after):
+            self._events.append(ResultChange(qid, oid, gained=False))
+        for oid in sorted(after - before):
+            self._events.append(ResultChange(qid, oid, gained=True))
+
+    def rknn(self, qid: int) -> frozenset[int]:
+        return frozenset(self._queries[qid].verified)
+
+    def drain_events(self) -> list[ResultChange]:
+        events, self._events = self._events, []
+        return events
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+    def add_object(self, oid: int, pos: Point) -> None:
+        self.grid.insert_object(oid, pos)
+        self._handle(oid, None, pos)
+
+    def update_object(self, oid: int, new_pos: Point) -> None:
+        if oid not in self.grid:
+            self.add_object(oid, new_pos)
+            return
+        old_pos, _, _ = self.grid.move_object(oid, new_pos)
+        if old_pos != new_pos:
+            self._handle(oid, old_pos, new_pos)
+
+    def remove_object(self, oid: int) -> None:
+        old_pos, _ = self.grid.delete_object(oid)
+        self._handle(oid, old_pos, None)
+
+    def process(self, updates: Iterable[Update]) -> list[ResultChange]:
+        mark = len(self._events)
+        for update in updates:
+            if isinstance(update, ObjectUpdate):
+                if update.pos is None:
+                    self.remove_object(update.oid)
+                else:
+                    self.update_object(update.oid, update.pos)
+            elif isinstance(update, QueryUpdate):
+                if update.pos is None:
+                    self.remove_query(update.qid)
+                elif update.qid in self._queries:
+                    self.update_query(update.qid, update.pos)
+                else:
+                    self.add_query(update.qid, update.pos)
+            else:
+                raise TypeError(f"unsupported update {update!r}")
+        return self._events[mark:]
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def _handle(self, oid: int, old_pos: Optional[Point], new_pos: Optional[Point]) -> None:
+        pie_hits: set[int] = set()
+        circ_hits: set[tuple[int, int]] = set()
+        for pos in (old_pos, new_pos):
+            if pos is None:
+                continue
+            cell = self.grid.cell_at(pos)
+            pie_hits.update(cell.pie_queries)
+            circ_hits.update(cell.circ_queries)
+        # Pie phase: re-derive candidate lists of affected sectors.
+        for qid in sorted(pie_hits):
+            state = self._queries[qid]
+            if oid in state.exclude:
+                continue
+            dirty: set[int] = set()
+            cand_sector = state.sector_of_candidate(oid)
+            if cand_sector is not None:
+                dirty.add(cand_sector)
+            if new_pos is not None:
+                s_new = sector_of(state.pos, new_pos)
+                d_new = dist(state.pos, new_pos)
+                if d_new <= state.pie_radius[s_new]:
+                    dirty.add(s_new)
+            for sector in sorted(dirty):
+                self._research_sector(state, sector)
+        # Circ phase: re-verify candidates whose circles the update touched.
+        for qid, cand in sorted(circ_hits):
+            state = self._queries.get(qid)
+            if state is None or oid in state.exclude or cand == oid:
+                continue
+            if cand not in state.circ_cells:
+                continue  # circle was just re-registered away
+            cand_pos = self.grid.positions.get(cand)
+            if cand_pos is None:
+                continue
+            relevant = False
+            radius = dist(cand_pos, state.pos)
+            for pos in (old_pos, new_pos):
+                if pos is not None and dist(pos, cand_pos) <= radius:
+                    relevant = True
+            if relevant:
+                self._verify(state, cand, cand_pos)
+
+    def _research_sector(self, state: _RknnQuery, sector: int) -> None:
+        old_ids = {oid for _, oid in state.candidates[sector]}
+        members = constrained_knn_search(
+            self.grid, state.pos, sector, k=state.k, exclude=state.exclude
+        )
+        state.candidates[sector] = members
+        state.pie_radius[sector] = (
+            members[-1][0] if len(members) == state.k else math.inf
+        )
+        self._register_pie(state, sector)
+        new_ids = {oid for _, oid in members}
+        for oid in old_ids - new_ids:
+            self._drop_candidate(state, oid)
+        for oid in new_ids:
+            self._verify(state, oid, self.grid.positions[oid])
+
+    def _register_pie(self, state: _RknnQuery, sector: int) -> None:
+        new_cells = set(
+            self.grid.cells_intersecting_pie(state.pos, sector, state.pie_radius[sector])
+        )
+        old_cells = state.pie_cells[sector]
+        for cell in old_cells - new_cells:
+            cell.remove_pie_query(state.qid, sector)
+        for cell in new_cells - old_cells:
+            cell.add_pie_query(state.qid, sector)
+        state.pie_cells[sector] = new_cells
+
+    def _verify(self, state: _RknnQuery, cand: int, cand_pos: Point) -> None:
+        radius = dist(cand_pos, state.pos)
+        nearer = count_within(
+            self.grid, cand_pos, radius, limit=state.k,
+            exclude=state.exclude | {cand},
+        )
+        self._register_circle(state, cand, cand_pos, radius)
+        if nearer < state.k:
+            if cand not in state.verified:
+                state.verified.add(cand)
+                self._events.append(ResultChange(state.qid, cand, gained=True))
+        else:
+            if cand in state.verified:
+                state.verified.discard(cand)
+                self._events.append(ResultChange(state.qid, cand, gained=False))
+
+    def _register_circle(self, state: _RknnQuery, cand: int, cand_pos: Point, radius: float) -> None:
+        key = (state.qid, cand)
+        new_cells = set(self.grid.cells_intersecting_circle(cand_pos, radius))
+        old_cells = state.circ_cells.get(cand, set())
+        for cell in old_cells - new_cells:
+            cell.circ_queries.discard(key)
+        for cell in new_cells - old_cells:
+            cell.circ_queries.add(key)
+        state.circ_cells[cand] = new_cells
+
+    def _drop_candidate(self, state: _RknnQuery, oid: int) -> None:
+        if state.sector_of_candidate(oid) is not None:
+            # The object left one sector's top-k but is (already) a
+            # candidate of another sector — keep its circle and status.
+            return
+        key = (state.qid, oid)
+        for cell in state.circ_cells.pop(oid, set()):
+            cell.circ_queries.discard(key)
+        if oid in state.verified:
+            state.verified.discard(oid)
+            self._events.append(ResultChange(state.qid, oid, gained=False))
+
+    def _unregister_all_circles(self, state: _RknnQuery) -> None:
+        for cand, cells in state.circ_cells.items():
+            key = (state.qid, cand)
+            for cell in cells:
+                cell.circ_queries.discard(key)
+        state.circ_cells.clear()
+
+    # ------------------------------------------------------------------
+    # Validation (tests)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        from repro.core.oracle import brute_force_rknn
+
+        for qid, state in self._queries.items():
+            truth = brute_force_rknn(
+                self.grid.positions, state.pos, state.k, exclude=state.exclude
+            )
+            assert frozenset(state.verified) == truth, (
+                f"RkNN q{qid} diverged: {sorted(state.verified)} != {sorted(truth)}"
+            )

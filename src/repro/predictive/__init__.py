@@ -1,0 +1,19 @@
+"""Predictive (time-parameterised) queries over linear trajectories.
+
+The trajectory-based relatives of the paper's continuous queries
+(Benetis et al., IDEAS 2002): instead of reacting to unpredictable
+updates, known linear motion lets the whole result-over-time be computed
+up front as segments.
+"""
+
+from repro.predictive.kinematics import MovingPoint, Quadratic, dist_sq_quadratic
+from repro.predictive.rnn import predictive_nn, predictive_rnn, result_at
+
+__all__ = [
+    "MovingPoint",
+    "Quadratic",
+    "dist_sq_quadratic",
+    "predictive_nn",
+    "predictive_rnn",
+    "result_at",
+]

@@ -1,0 +1,127 @@
+"""Predictive (time-parameterised) NN and RNN queries over linear motion.
+
+Implements the query semantics of Benetis et al. (IDEAS 2002), the
+*predictive* relative of the paper's continuous query: given objects with
+known linear trajectories and a horizon ``[0, T]``, report how the
+result changes over time — a list of ``(t_start, t_end, result)``
+segments — instead of monitoring unpredictable updates.
+
+The implementation is event-driven over exact quadratic algebra (no
+index): every pairwise distance comparison is a quadratic in ``t``, so
+the result can only change at quadratic roots.  We collect all candidate
+event times, split the horizon there, and evaluate each piece at its
+midpoint.  Exact for the model, O(n^2) events — the right tool for the
+moderate trajectory counts predictive queries are asked over, and the
+reference oracle for any future TPR-tree-style accelerated version.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.geometry.point import dist
+from repro.predictive.kinematics import (
+    EPS,
+    MovingPoint,
+    difference,
+    dist_sq_quadratic,
+    sign_change_times,
+)
+
+Segment = tuple[float, float, frozenset[int]]
+
+
+def _merge_times(times: Iterable[float]) -> list[float]:
+    out: list[float] = []
+    for t in sorted(times):
+        if not out or t - out[-1] > EPS:
+            out.append(t)
+    return out
+
+
+def predictive_nn(
+    objects: dict[int, MovingPoint], query: MovingPoint, horizon: float
+) -> list[Segment]:
+    """Time-parameterised nearest neighbor: ``(start, end, {nn})`` segments.
+
+    The result set is empty only when there are no objects; exact ties
+    report every tied object.
+    """
+    if horizon <= 0.0:
+        raise ValueError("horizon must be positive")
+    if not objects:
+        return [(0.0, horizon, frozenset())]
+    ids = sorted(objects)
+    quads = {oid: dist_sq_quadratic(objects[oid], query) for oid in ids}
+    events: list[float] = [0.0, horizon]
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            events.extend(
+                sign_change_times(difference(quads[a], quads[b]), 0.0, horizon)
+            )
+    cuts = _merge_times(events)
+    segments: list[Segment] = []
+    for lo, hi in zip(cuts, cuts[1:]):
+        mid = (lo + hi) / 2.0
+        best = min(quads[oid](mid) for oid in ids)
+        nn = frozenset(oid for oid in ids if abs(quads[oid](mid) - best) <= EPS)
+        _append(segments, lo, hi, nn)
+    return segments
+
+
+def predictive_rnn(
+    objects: dict[int, MovingPoint], query: MovingPoint, horizon: float
+) -> list[Segment]:
+    """Time-parameterised monochromatic RNN: ``(start, end, RNN set)`` segments.
+
+    ``o`` belongs to the result during the times when no other object is
+    strictly nearer to ``o`` than the query is.
+    """
+    if horizon <= 0.0:
+        raise ValueError("horizon must be positive")
+    ids = sorted(objects)
+    to_query = {oid: dist_sq_quadratic(objects[oid], query) for oid in ids}
+    events: list[float] = [0.0, horizon]
+    for o in ids:
+        for other in ids:
+            if other == o:
+                continue
+            # d(o, other)^2 - d(o, q)^2 changes sign -> o's status may flip
+            between = dist_sq_quadratic(objects[o], objects[other])
+            events.extend(
+                sign_change_times(difference(between, to_query[o]), 0.0, horizon)
+            )
+    cuts = _merge_times(events)
+    segments: list[Segment] = []
+    for lo, hi in zip(cuts, cuts[1:]):
+        mid = (lo + hi) / 2.0
+        positions = {oid: objects[oid].at(mid) for oid in ids}
+        qpos = query.at(mid)
+        result = set()
+        for o in ids:
+            d_oq = dist(positions[o], qpos)
+            if not any(
+                dist(positions[o], positions[other]) < d_oq - EPS
+                for other in ids
+                if other != o
+            ):
+                result.add(o)
+        _append(segments, lo, hi, frozenset(result))
+    return segments
+
+
+def result_at(segments: Sequence[Segment], t: float) -> frozenset[int]:
+    """The result set at time ``t`` according to a segment list."""
+    for lo, hi, result in segments:
+        if lo - EPS <= t <= hi + EPS:
+            return result
+    raise ValueError(f"time {t} outside the computed horizon")
+
+
+def _append(segments: list[Segment], lo: float, hi: float, result: frozenset[int]) -> None:
+    """Append a segment, merging it with an equal-result predecessor."""
+    if segments and segments[-1][2] == result and abs(segments[-1][1] - lo) <= EPS:
+        prev_lo, _, prev_result = segments.pop()
+        segments.append((prev_lo, hi, prev_result))
+    else:
+        segments.append((lo, hi, result))

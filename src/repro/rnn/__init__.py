@@ -1,0 +1,7 @@
+"""Static RNN algorithms: SAE (grid), TPL (R-tree), Rdnn (pre-computed)."""
+
+from repro.rnn.rdnn import RdnnIndex
+from repro.rnn.sae import sae_candidates, sae_rnn
+from repro.rnn.tpl import tpl_rknn, tpl_rnn
+
+__all__ = ["sae_rnn", "sae_candidates", "tpl_rnn", "tpl_rknn", "RdnnIndex"]

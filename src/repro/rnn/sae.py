@@ -1,0 +1,92 @@
+"""SAE static RNN search (Stanoi, Agrawal, El Abbadi — DMKD 2000).
+
+SAE divides the space around the query ``q`` into six 60-degree
+partitions.  Its key lemma: the only possible RNNs of ``q`` are the six
+*constrained* nearest neighbours, one per partition (within a partition,
+a nearer object to ``q`` is also nearer to any farther same-partition
+object than ``q`` is, disqualifying the farther one).
+
+The search is filter-refinement: find the six candidates, then verify
+each candidate by checking whether some other object is strictly nearer
+to it than ``q``.
+
+This module gives the standalone static algorithm over the grid index;
+the CRNN initialisation (:mod:`repro.core.init_crnn`) runs a more
+elaborate concurrent version that also primes the monitoring regions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.geometry.point import Point, dist
+from repro.geometry.sector import NUM_SECTORS
+from repro.grid.cpm import constrained_nn_search, nearest_neighbor
+from repro.grid.index import GridIndex
+
+
+def sae_candidates(
+    grid: GridIndex, q: Point, exclude: Iterable[int] = ()
+) -> list[Optional[tuple[float, int]]]:
+    """The six constrained NNs of ``q``; ``None`` for empty partitions."""
+    excluded = frozenset(exclude)
+    return [
+        constrained_nn_search(grid, q, sector, exclude=excluded)
+        for sector in range(NUM_SECTORS)
+    ]
+
+
+def is_false_positive(
+    grid: GridIndex, cand: int, d_q_cand: float, exclude: Iterable[int] = ()
+) -> Optional[tuple[float, int]]:
+    """Disprove candidate ``cand``: the nearest other object if strictly
+    nearer to ``cand`` than the query, else ``None``.
+
+    Returns ``(distance, oid)`` of a disprover, which the CRNN monitor
+    reuses as the candidate's ``nn_cand`` (circ-region perimeter object).
+    """
+    cand_pos = grid.positions[cand]
+    excluded = set(exclude)
+    excluded.add(cand)
+    found = nearest_neighbor(grid, cand_pos, exclude=excluded, max_dist=d_q_cand)
+    if found is not None and found[0] < d_q_cand:
+        return found
+    return None
+
+
+def sae_rnn(grid: GridIndex, q: Point, exclude: Iterable[int] = ()) -> set[int]:
+    """Exact monochromatic RNN set of ``q`` over the grid's objects.
+
+    Objects in ``exclude`` are ignored entirely (neither results nor
+    disprovers) — useful when the query point is itself one of the
+    indexed objects.
+    """
+    excluded = frozenset(exclude)
+    result: set[int] = set()
+    for found in sae_candidates(grid, q, exclude=excluded):
+        if found is None:
+            continue
+        d_q_cand, cand = found
+        if is_false_positive(grid, cand, d_q_cand, exclude=excluded) is None:
+            result.add(cand)
+    return result
+
+
+def brute_force_rnn(
+    positions: dict[int, Point], q: Point, exclude: Iterable[int] = ()
+) -> set[int]:
+    """Reference O(n^2) RNN by definition; the oracle used in tests.
+
+    ``o`` is an RNN of ``q`` iff no other object is strictly nearer to
+    ``o`` than ``q`` is.
+    """
+    excluded = frozenset(exclude)
+    ids = [oid for oid in positions if oid not in excluded]
+    result: set[int] = set()
+    for o in ids:
+        d_oq = dist(positions[o], q)
+        if not any(
+            dist(positions[o], positions[other]) < d_oq for other in ids if other != o
+        ):
+            result.add(o)
+    return result

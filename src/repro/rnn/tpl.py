@@ -1,0 +1,149 @@
+"""TPL static RNN search (Tao, Papadias, Lian — VLDB 2004).
+
+TPL is the state-of-the-art *static* RNN algorithm and the basis of the
+paper's straightforward baseline (Section 6.2): index the objects in a
+FUR-tree and recompute every query's RNNs with TPL at each timestamp.
+
+Filter step: traverse the tree best-first by mindist to ``q``.  Every
+de-heaped object either becomes a candidate or is *pruned* by an existing
+candidate ``c`` (it lies strictly on ``c``'s side of the perpendicular
+bisector between ``q`` and ``c``, hence cannot be an RNN).  A node is
+pruned when its whole MBR lies strictly on some candidate's side — for a
+convex MBR it suffices to test the four corners.  Pruned objects and
+nodes are kept for the refinement step.
+
+Refinement step: a candidate is a real RNN unless some object is strictly
+nearer to it than ``q``; disprovers are searched first among the other
+candidates and pruned points, then inside pruned subtrees whose MBR could
+contain one (re-using the pruned MBRs, as in the original paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Iterable
+
+from repro.geometry.point import Point, dist, dist_sq
+from repro.geometry.rect import Rect
+from repro.rtree.node import LeafEntry, Node
+from repro.rtree.rtree import RTree
+
+
+def _point_pruned_by(p: Point, q: Point, c: Point) -> bool:
+    """True when ``p`` is strictly nearer to candidate ``c`` than to ``q``."""
+    return dist_sq(p, c) < dist_sq(p, q)
+
+
+def _mbr_pruned_by(mbr: Rect, q: Point, c: Point) -> bool:
+    """True when the whole MBR is strictly nearer to ``c`` than to ``q``.
+
+    The "nearer to c" region is an open half-plane (hence convex), so the
+    MBR is inside iff all four corners are.
+    """
+    return all(_point_pruned_by(corner, q, c) for corner in mbr.corners())
+
+
+def tpl_rnn(tree: RTree, q: Point, exclude: Iterable[int] = (), k: int = 1) -> set[int]:
+    """Exact monochromatic reverse k-NN set of ``q`` over the tree's entries.
+
+    With the default ``k=1`` this is the classic RNN query.  For general
+    ``k``, an object is a result iff *fewer than k* objects are strictly
+    nearer to it than ``q`` is.  The filter generalises TPL's pruning:
+    a point is pruned once ``k`` candidates are strictly nearer to it
+    than ``q``, and a node once ``k`` candidates each prune its whole
+    MBR (a sound, slightly conservative rule — conservatism only grows
+    the candidate set, never loses a result).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    excluded = frozenset(exclude)
+    counter = itertools.count()
+    heap: list[tuple[float, int, object]] = [(0.0, next(counter), tree.root)]
+    candidates: list[LeafEntry] = []
+    pruned_points: list[LeafEntry] = []
+    pruned_nodes: list[Node] = []
+
+    while heap:
+        key, _, item = heapq.heappop(heap)
+        if isinstance(item, LeafEntry):
+            pruners = sum(
+                1 for c in candidates if _point_pruned_by(item.pos, q, c.pos)
+            )
+            if pruners >= k:
+                pruned_points.append(item)
+            else:
+                candidates.append(item)
+            continue
+        node: Node = item
+        tree.stats.fur_node_accesses += 1
+        if node.mbr is None:
+            continue
+        pruners = sum(1 for c in candidates if _mbr_pruned_by(node.mbr, q, c.pos))
+        if pruners >= k:
+            pruned_nodes.append(node)
+            continue
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.oid not in excluded:
+                    heapq.heappush(heap, (dist(q, entry.pos), next(counter), entry))
+        else:
+            for child in node.children:
+                if child.mbr is not None:
+                    heapq.heappush(heap, (child.mbr.mindist(q), next(counter), child))
+
+    result: set[int] = set()
+    for cand in candidates:
+        if not _disproved(
+            tree, cand, q, candidates, pruned_points, pruned_nodes, excluded, k
+        ):
+            result.add(cand.oid)
+    return result
+
+
+def tpl_rknn(tree: RTree, q: Point, k: int, exclude: Iterable[int] = ()) -> set[int]:
+    """Alias for :func:`tpl_rnn` with an explicit ``k`` (readability)."""
+    return tpl_rnn(tree, q, exclude=exclude, k=k)
+
+
+def _disproved(
+    tree: RTree,
+    cand: LeafEntry,
+    q: Point,
+    candidates: list[LeafEntry],
+    pruned_points: list[LeafEntry],
+    pruned_nodes: list[Node],
+    excluded: frozenset[int],
+    k: int = 1,
+) -> bool:
+    """True when at least ``k`` objects are strictly nearer to ``cand``
+    than ``q`` is (early exit at the k-th disprover)."""
+    d_cq_sq = dist_sq(cand.pos, q)
+    found = 0
+    for other in candidates:
+        if other.oid != cand.oid and dist_sq(cand.pos, other.pos) < d_cq_sq:
+            found += 1
+            if found >= k:
+                return True
+    for other in pruned_points:
+        if dist_sq(cand.pos, other.pos) < d_cq_sq:
+            found += 1
+            if found >= k:
+                return True
+    d_cq = math.sqrt(d_cq_sq)
+    stack = [n for n in pruned_nodes if n.mbr is not None and n.mbr.mindist(cand.pos) < d_cq]
+    while stack:
+        node = stack.pop()
+        tree.stats.fur_node_accesses += 1
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.oid not in excluded and dist_sq(cand.pos, entry.pos) < d_cq_sq:
+                    found += 1
+                    if found >= k:
+                        return True
+        else:
+            for child in node.children:
+                if child.mbr is not None and child.mbr.mindist(cand.pos) < d_cq:
+                    stack.append(child)
+    return False

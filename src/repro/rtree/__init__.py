@@ -1,0 +1,7 @@
+"""R-tree family: base R-tree and the frequent-update FUR-tree."""
+
+from repro.rtree.furtree import FURTree, bulk_load
+from repro.rtree.node import LeafEntry, Node
+from repro.rtree.rtree import RTree
+
+__all__ = ["RTree", "FURTree", "LeafEntry", "Node", "bulk_load"]

@@ -1,0 +1,90 @@
+"""R-tree nodes and leaf entries.
+
+Leaf entries are points augmented Rdnn-style with a ``radius`` (the
+circ-region radius when the tree stores CRNN candidates, or 0.0 for a
+plain point tree).  Every node caches its MBR and the maximum radius in
+its subtree, which gives the containment search ("which circles contain
+this point?") its pruning power.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class LeafEntry:
+    """One object in a leaf: id, position, augmented radius, payload."""
+
+    __slots__ = ("oid", "pos", "radius", "payload")
+
+    def __init__(self, oid: int, pos: Point, radius: float = 0.0, payload: object = None):
+        self.oid = oid
+        self.pos = pos
+        self.radius = radius
+        self.payload = payload
+
+    @property
+    def mbr(self) -> Rect:
+        """Degenerate point rectangle of the entry position."""
+        return Rect(self.pos[0], self.pos[1], self.pos[0], self.pos[1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LeafEntry({self.oid}, {self.pos}, r={self.radius:.3g})"
+
+
+class Node:
+    """An R-tree node; a leaf holds :class:`LeafEntry` objects, an internal
+    node holds child nodes.  ``parent`` implements the FUR-tree's direct
+    access table for bottom-up traversal."""
+
+    __slots__ = ("is_leaf", "entries", "children", "mbr", "max_radius", "parent")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.entries: list[LeafEntry] = []
+        self.children: list["Node"] = []
+        self.mbr: Optional[Rect] = None
+        self.max_radius: float = 0.0
+        self.parent: Optional["Node"] = None
+
+    def __len__(self) -> int:
+        return len(self.entries) if self.is_leaf else len(self.children)
+
+    def refresh(self) -> None:
+        """Recompute the cached MBR and max radius from the contents."""
+        if self.is_leaf:
+            if not self.entries:
+                self.mbr = None
+                self.max_radius = 0.0
+                return
+            xmin = min(e.pos[0] for e in self.entries)
+            ymin = min(e.pos[1] for e in self.entries)
+            xmax = max(e.pos[0] for e in self.entries)
+            ymax = max(e.pos[1] for e in self.entries)
+            self.mbr = Rect(xmin, ymin, xmax, ymax)
+            self.max_radius = max(e.radius for e in self.entries)
+        else:
+            if not self.children:
+                self.mbr = None
+                self.max_radius = 0.0
+                return
+            self.mbr = Rect.union_of(c.mbr for c in self.children if c.mbr is not None)
+            self.max_radius = max(c.max_radius for c in self.children)
+
+    def refresh_upward(self) -> None:
+        """Refresh this node and every ancestor.
+
+        Stops early once neither the MBR nor the max radius of an
+        ancestor changes (the common case for localised updates).
+        """
+        node: Optional[Node] = self
+        while node is not None:
+            old_mbr = node.mbr
+            old_radius = node.max_radius
+            node.refresh()
+            if node.mbr == old_mbr and node.max_radius == old_radius:
+                return
+            node = node.parent

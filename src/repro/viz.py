@@ -1,0 +1,161 @@
+"""SVG rendering of monitors and their monitoring regions.
+
+Dependency-free visual debugging: render the objects, query points,
+pie-regions (wedges), and circ-regions of a :class:`CRNNMonitor` (or any
+object set) into an SVG string or file.  The paper's Figures 5-11 are
+exactly these drawings; being able to regenerate them from live state is
+the fastest way to see why a result changed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import IO, Iterable, Optional
+
+from repro.core.monitor import CRNNMonitor
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.sector import SECTOR_ANGLE
+
+#: Default colour assignments (object / query / result / regions).
+STYLE = {
+    "object": "#3b6ea5",
+    "object_result": "#d1495b",
+    "query": "#111111",
+    "pie_fill": "#f4d35e",
+    "pie_opacity": "0.25",
+    "circ_stroke": "#66a182",
+    "grid": "#dddddd",
+}
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}"
+
+
+class SvgCanvas:
+    """Tiny SVG builder mapping data space to image space (y flipped)."""
+
+    def __init__(self, bounds: Rect, size: int = 640):
+        self.bounds = bounds
+        self.size = size
+        self._scale = size / max(bounds.width, bounds.height)
+        self._parts: list[str] = []
+
+    def x(self, value: float) -> float:
+        """Data x to image x."""
+        return (value - self.bounds.xmin) * self._scale
+
+    def y(self, value: float) -> float:
+        """Data y to image y (flipped)."""
+        return self.size - (value - self.bounds.ymin) * self._scale
+
+    def r(self, value: float) -> float:
+        """Data length to image length."""
+        return value * self._scale
+
+    def add(self, element: str) -> None:
+        """Append a raw SVG element."""
+        self._parts.append(element)
+
+    def circle(self, center: Point, radius: float, **attrs: str) -> None:
+        """Draw a circle given in data coordinates."""
+        attr = " ".join(f'{k.replace("_", "-")}="{v}"' for k, v in attrs.items())
+        self.add(
+            f'<circle cx="{_fmt(self.x(center[0]))}" cy="{_fmt(self.y(center[1]))}" '
+            f'r="{_fmt(self.r(radius))}" {attr}/>'
+        )
+
+    def dot(self, center: Point, radius_px: float, fill: str, title: str = "") -> None:
+        """Draw a fixed-pixel-size marker with an optional hover title."""
+        title_el = f"<title>{title}</title>" if title else ""
+        self.add(
+            f'<circle cx="{_fmt(self.x(center[0]))}" cy="{_fmt(self.y(center[1]))}" '
+            f'r="{_fmt(radius_px)}" fill="{fill}">{title_el}</circle>'
+        )
+
+    def wedge(self, apex: Point, sector: int, radius: float, **attrs: str) -> None:
+        """A filled 60-degree pie slice (clipped to a sane radius)."""
+        max_r = math.hypot(self.bounds.width, self.bounds.height)
+        radius = min(radius, max_r)
+        a0 = sector * SECTOR_ANGLE
+        a1 = (sector + 1) * SECTOR_ANGLE
+        p0 = Point(apex[0] + radius * math.cos(a0), apex[1] + radius * math.sin(a0))
+        p1 = Point(apex[0] + radius * math.cos(a1), apex[1] + radius * math.sin(a1))
+        attr = " ".join(f'{k.replace("_", "-")}="{v}"' for k, v in attrs.items())
+        # y is flipped, so the CCW data-space arc becomes CW in the image
+        self.add(
+            f'<path d="M {_fmt(self.x(apex[0]))} {_fmt(self.y(apex[1]))} '
+            f"L {_fmt(self.x(p0[0]))} {_fmt(self.y(p0[1]))} "
+            f"A {_fmt(self.r(radius))} {_fmt(self.r(radius))} 0 0 0 "
+            f'{_fmt(self.x(p1[0]))} {_fmt(self.y(p1[1]))} Z" {attr}/>'
+        )
+
+    def to_svg(self) -> str:
+        """Assemble the final SVG document."""
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.size}" '
+            f'height="{self.size}" viewBox="0 0 {self.size} {self.size}">'
+        )
+        background = f'<rect width="{self.size}" height="{self.size}" fill="white"/>'
+        return "\n".join([header, background, *self._parts, "</svg>"])
+
+
+def render_monitor(
+    monitor: CRNNMonitor,
+    size: int = 640,
+    query_ids: Optional[Iterable[int]] = None,
+    draw_grid: bool = False,
+) -> str:
+    """Render a monitor's current state (regions included) to SVG text."""
+    canvas = SvgCanvas(monitor.config.bounds, size)
+    if draw_grid:
+        n = monitor.grid.n
+        for i in range(1, n):
+            offset = canvas.size * i / n
+            canvas.add(
+                f'<line x1="{_fmt(offset)}" y1="0" x2="{_fmt(offset)}" '
+                f'y2="{canvas.size}" stroke="{STYLE["grid"]}" stroke-width="0.5"/>'
+            )
+            canvas.add(
+                f'<line x1="0" y1="{_fmt(offset)}" x2="{canvas.size}" '
+                f'y2="{_fmt(offset)}" stroke="{STYLE["grid"]}" stroke-width="0.5"/>'
+            )
+
+    qids = sorted(query_ids) if query_ids is not None else sorted(monitor.qt.ids())
+    results: set[int] = set()
+    for qid in qids:
+        region = monitor.monitoring_region(qid)
+        for pie in region.pies:
+            canvas.wedge(
+                pie.center,
+                pie.sector,
+                pie.radius if not math.isinf(pie.radius) else math.inf,
+                fill=STYLE["pie_fill"],
+                fill_opacity=STYLE["pie_opacity"],
+                stroke="none",
+            )
+        for circ in region.circs:
+            canvas.circle(
+                circ.circle.center,
+                circ.circle.radius,
+                fill="none",
+                stroke=STYLE["circ_stroke"],
+                stroke_width="1.5",
+                stroke_dasharray="4 3" if not circ.is_rnn else "none",
+            )
+        results.update(monitor.rnn(qid))
+
+    for oid, pos in sorted(monitor.grid.positions.items()):
+        colour = STYLE["object_result"] if oid in results else STYLE["object"]
+        canvas.dot(pos, 3.0, colour, title=f"o{oid}")
+    for qid in qids:
+        pos = monitor.qt.get(qid).pos
+        canvas.dot(pos, 4.5, STYLE["query"], title=f"q{qid}")
+    return canvas.to_svg()
+
+
+def save_monitor_svg(monitor: CRNNMonitor, path: str, **kwargs) -> None:
+    """Render and write to ``path``."""
+    with open(path, "w") as fp:
+        fp.write(render_monitor(monitor, **kwargs))

@@ -1,0 +1,187 @@
+"""Tests for the continuous bichromatic RNN monitor."""
+
+import random
+
+import pytest
+
+from repro.core.events import ObjectUpdate, QueryUpdate
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.monitors import BichromaticRnnMonitor
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def _monitor() -> BichromaticRnnMonitor:
+    return BichromaticRnnMonitor(BOUNDS, grid_cells=8)
+
+
+class TestBasics:
+    def test_single_site_wins_everything(self):
+        m = _monitor()
+        for oid in range(5):
+            m.add_object(oid, Point(100.0 * oid + 50.0, 500.0))
+        assert m.add_site(1000, Point(500.0, 500.0)) == frozenset(range(5))
+
+    def test_two_sites_partition(self):
+        m = _monitor()
+        m.add_object(1, Point(100.0, 500.0))
+        m.add_object(2, Point(900.0, 500.0))
+        m.add_site(1000, Point(200.0, 500.0))
+        m.add_site(1001, Point(800.0, 500.0))
+        assert m.brnn(1000) == frozenset({1})
+        assert m.brnn(1001) == frozenset({2})
+        assert m.nearest_site(1) == 1000
+
+    def test_new_site_steals(self):
+        m = _monitor()
+        m.add_object(1, Point(100.0, 500.0))
+        m.add_site(1000, Point(500.0, 500.0))
+        assert m.brnn(1000) == frozenset({1})
+        m.add_site(1001, Point(150.0, 500.0))
+        assert m.brnn(1000) == frozenset()
+        assert m.brnn(1001) == frozenset({1})
+
+    def test_exact_tie_belongs_to_nobody(self):
+        m = _monitor()
+        m.add_object(1, Point(500.0, 500.0))
+        m.add_site(1000, Point(400.0, 500.0))
+        m.add_site(1001, Point(600.0, 500.0))
+        assert m.brnn(1000) == frozenset()
+        assert m.brnn(1001) == frozenset()
+        assert m.nearest_site(1) is None
+        # breaking the tie re-assigns
+        m.update_site(1001, Point(590.0, 500.0))
+        assert m.brnn(1001) == frozenset({1})
+
+    def test_tie_broken_by_site_removal(self):
+        m = _monitor()
+        m.add_object(1, Point(500.0, 500.0))
+        m.add_site(1000, Point(400.0, 500.0))
+        m.add_site(1001, Point(600.0, 500.0))
+        assert m.nearest_site(1) is None
+        m.remove_site(1001)
+        assert m.brnn(1000) == frozenset({1})
+
+    def test_site_removal_redistributes(self):
+        m = _monitor()
+        m.add_object(1, Point(100.0, 500.0))
+        m.add_site(1000, Point(150.0, 500.0))
+        m.add_site(1001, Point(800.0, 500.0))
+        m.remove_site(1000)
+        assert m.brnn(1001) == frozenset({1})
+
+    def test_duplicate_registrations_rejected(self):
+        m = _monitor()
+        m.add_object(1, Point(1.0, 1.0))
+        with pytest.raises(KeyError):
+            m.add_object(1, Point(2.0, 2.0))
+        m.add_site(1000, Point(3.0, 3.0))
+        with pytest.raises(KeyError):
+            m.add_site(1000, Point(4.0, 4.0))
+
+    def test_object_without_sites(self):
+        m = _monitor()
+        m.add_object(1, Point(1.0, 1.0))
+        assert m.nearest_site(1) is None
+
+    def test_events(self):
+        m = _monitor()
+        m.add_object(1, Point(100.0, 500.0))
+        m.add_site(1000, Point(500.0, 500.0))
+        m.drain_events()
+        m.update_object(1, Point(999.0, 500.0))
+        assert m.drain_events() == []  # still nearest to the only site
+        m.add_site(1001, Point(990.0, 500.0))
+        events = m.drain_events()
+        assert {(e.qid, e.oid, e.gained) for e in events} == {
+            (1000, 1, False),
+            (1001, 1, True),
+        }
+
+
+class TestRandomised:
+    def test_against_brute_force(self):
+        rng = random.Random(13)
+        m = _monitor()
+        for oid in range(40):
+            m.add_object(oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+        sids = list(range(1000, 1006))
+        for sid in sids:
+            m.add_site(sid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+        for step in range(300):
+            r = rng.random()
+            if r < 0.6:
+                m.update_object(
+                    rng.randrange(40), Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                )
+            else:
+                m.update_site(
+                    rng.choice(sids), Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                )
+            if step % 20 == 0:
+                m.validate()
+        m.validate()
+
+    def test_batch_api_with_churn(self):
+        rng = random.Random(14)
+        m = _monitor()
+        oids = list(range(25))
+        for oid in oids:
+            m.add_object(oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+        sids = [1000, 1001, 1002]
+        for sid in sids:
+            m.add_site(sid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+        next_oid = 25
+        for step in range(80):
+            batch: list = []
+            for _ in range(rng.randrange(1, 6)):
+                r = rng.random()
+                if r < 0.5 and oids:
+                    batch.append(
+                        ObjectUpdate(
+                            rng.choice(oids),
+                            Point(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+                        )
+                    )
+                elif r < 0.65:
+                    batch.append(
+                        ObjectUpdate(
+                            next_oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                        )
+                    )
+                    oids.append(next_oid)
+                    next_oid += 1
+                elif r < 0.75 and len(oids) > 2:
+                    oid = oids.pop(rng.randrange(len(oids)))
+                    batch.append(ObjectUpdate(oid, None))
+                else:
+                    batch.append(
+                        QueryUpdate(
+                            rng.choice(sids),
+                            Point(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+                        )
+                    )
+            m.process(batch)
+            m.validate()
+
+    def test_clustered_voronoi_structure(self):
+        """Objects are assigned to their Voronoi cell's site."""
+        rng = random.Random(15)
+        m = _monitor()
+        sites = {
+            1000: Point(250.0, 250.0),
+            1001: Point(750.0, 250.0),
+            1002: Point(500.0, 750.0),
+        }
+        for sid, pos in sites.items():
+            m.add_site(sid, pos)
+        from repro.geometry.point import dist
+
+        for oid in range(60):
+            p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            m.add_object(oid, p)
+            expected = min(sites, key=lambda s: (dist(p, sites[s]), s))
+            assert m.nearest_site(oid) == expected
+        total = sum(len(m.brnn(s)) for s in sites)
+        assert total == 60

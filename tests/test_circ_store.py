@@ -1,0 +1,242 @@
+"""Unit tests for the FUR-backed circ-region store (NN-Hash, partial-insert)."""
+
+import math
+
+import pytest
+
+from repro.core.circ_store import FurCircStore
+from repro.core.events import ResultChange
+from repro.core.query_table import QueryTable
+from repro.core.stats import StatCounters
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+from repro.grid.index import GridIndex
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class _Rig:
+    """A minimal harness around a FurCircStore."""
+
+    def __init__(self, threshold: float = 0.0):
+        self.stats = StatCounters()
+        self.grid = GridIndex(BOUNDS, 8, self.stats)
+        self.qt = QueryTable()
+        self.events: list[ResultChange] = []
+        self.store = FurCircStore(
+            self.grid, self.qt, self.stats, self.events.append, threshold=threshold
+        )
+
+    def object(self, oid: int, x: float, y: float) -> Point:
+        p = Point(x, y)
+        self.grid.insert_object(oid, p)
+        return p
+
+    def query(self, qid: int, x: float, y: float):
+        return self.qt.add(qid, Point(x, y))
+
+
+class TestSetAndRemove:
+    def test_rnn_record_emits_gain(self):
+        rig = _Rig()
+        rig.query(50, 200.0, 100.0)
+        pos = rig.object(1, 100.0, 100.0)
+        rig.store.set_circ(50, 0, 1, pos, 100.0, None)
+        assert rig.events == [ResultChange(50, 1, gained=True)]
+        assert rig.store.rnn_set(50) == frozenset({1})
+        rec = rig.store.record(50, 0)
+        assert rec.is_rnn and rec.radius == 100.0
+        rig.store.validate()
+
+    def test_false_positive_record_silent(self):
+        rig = _Rig()
+        rig.query(50, 200.0, 100.0)
+        pos = rig.object(1, 100.0, 100.0)
+        rig.object(2, 110.0, 100.0)
+        rig.store.set_circ(50, 0, 1, pos, 100.0, 2, 10.0)
+        assert rig.events == []
+        assert rig.store.rnn_set(50) == frozenset()
+        assert (50, 0) in rig.store.nn_hash[2]
+        rig.store.validate()
+
+    def test_replacement_emits_transition(self):
+        rig = _Rig()
+        rig.query(50, 200.0, 100.0)
+        p1 = rig.object(1, 100.0, 100.0)
+        p2 = rig.object(2, 110.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, None)
+        rig.store.set_circ(50, 0, 2, p2, 90.0, None)  # candidate replaced
+        assert rig.events == [
+            ResultChange(50, 1, gained=True),
+            ResultChange(50, 1, gained=False),
+            ResultChange(50, 2, gained=True),
+        ]
+        rig.store.validate()
+
+    def test_remove_emits_loss(self):
+        rig = _Rig()
+        rig.query(50, 200.0, 100.0)
+        pos = rig.object(1, 100.0, 100.0)
+        rig.store.set_circ(50, 0, 1, pos, 100.0, None)
+        rig.store.remove_circ(50, 0)
+        assert rig.events[-1] == ResultChange(50, 1, gained=False)
+        assert rig.store.record(50, 0) is None
+        assert len(rig.store) == 0
+        rig.store.validate()
+
+    def test_remove_missing_is_noop(self):
+        rig = _Rig()
+        rig.store.remove_circ(99, 3)
+        assert rig.events == []
+
+
+class TestSharedCandidates:
+    def test_candidate_serving_two_queries(self):
+        """One object candidate for two queries: one FUR entry, max radius."""
+        rig = _Rig()
+        rig.query(50, 200.0, 100.0)
+        rig.query(51, 100.0, 180.0)
+        pos = rig.object(1, 100.0, 100.0)
+        rig.object(2, 130.0, 100.0)
+        rig.store.set_circ(50, 0, 1, pos, 100.0, 2, 30.0)
+        rig.store.set_circ(51, 4, 1, pos, 80.0, None)
+        entry = rig.store.fur.get_entry(1)
+        assert entry.radius == 80.0  # max(30, 80)
+        rig.store.remove_circ(51, 4)
+        assert rig.store.fur.get_entry(1).radius == 30.0
+        rig.store.remove_circ(50, 0)
+        assert 1 not in rig.store.fur
+        rig.store.validate()
+
+
+class TestLazyUpdate:
+    def test_certificate_moves_but_still_valid(self):
+        """No NN search while the enlarged circle stays short of q."""
+        rig = _Rig()
+        rig.query(50, 200.0, 100.0)
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.object(2, 110.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, 2, 10.0)
+        before = rig.stats.nn_searches
+        old = rig.grid.positions[2]
+        new = Point(150.0, 100.0)
+        rig.grid.move_object(2, new)
+        rig.store.handle_update(2, old, new)
+        assert rig.stats.nn_searches == before  # lazy: no search
+        assert rig.store.record(50, 0).radius == 50.0
+        assert rig.stats.circ_lazy_radius_updates == 1
+        rig.store.validate()
+
+    def test_certificate_escapes_triggers_search(self):
+        """The circle would cover q: now an NN search must run."""
+        rig = _Rig()
+        rig.query(50, 200.0, 100.0)
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.object(2, 110.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, 2, 10.0)
+        old = rig.grid.positions[2]
+        new = Point(600.0, 600.0)  # farther from o1 than q is
+        rig.grid.move_object(2, new)
+        rig.store.handle_update(2, old, new)
+        rec = rig.store.record(50, 0)
+        assert rec.is_rnn  # no other object nearer than q remains
+        assert rig.events[-1] == ResultChange(50, 1, gained=True)
+        assert rig.stats.circ_nn_searches_triggered >= 1
+        rig.store.validate()
+
+    def test_certificate_deleted(self):
+        rig = _Rig()
+        rig.query(50, 200.0, 100.0)
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.object(2, 110.0, 100.0)
+        rig.object(3, 120.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, 2, 10.0)
+        old, _ = rig.grid.delete_object(2)
+        rig.store.handle_update(2, old, None)
+        rec = rig.store.record(50, 0)
+        assert rec.nn == 3  # the remaining disprover is found
+        assert rec.radius == 20.0
+        rig.store.validate()
+
+
+class TestContainmentStep:
+    def test_object_enters_rnn_circle(self):
+        rig = _Rig()
+        rig.query(50, 200.0, 100.0)
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, None)
+        rig.events.clear()
+        new = Point(130.0, 100.0)
+        rig.object(2, 130.0, 100.0)
+        rig.store.handle_update(2, None, new)
+        rec = rig.store.record(50, 0)
+        assert not rec.is_rnn and rec.nn == 2 and rec.radius == 30.0
+        assert rig.events == [ResultChange(50, 1, gained=False)]
+        rig.store.validate()
+
+    def test_object_on_perimeter_does_not_flip(self):
+        """Strictness: landing exactly at distance d(q, cand) is no disproof."""
+        rig = _Rig()
+        rig.query(50, 200.0, 100.0)
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, None)
+        rig.events.clear()
+        new = Point(100.0, 200.0)  # exactly 100 away from o1
+        rig.object(2, 100.0, 200.0)
+        rig.store.handle_update(2, None, new)
+        assert rig.store.record(50, 0).is_rnn
+        assert rig.events == []
+
+
+class TestPartialInsert:
+    def test_small_circle_stays_out_of_tree(self):
+        rig = _Rig(threshold=0.8)
+        rig.query(50, 200.0, 100.0)
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.object(2, 110.0, 100.0)
+        # radius 10 < 0.8 * 100: hash only
+        rig.store.set_circ(50, 0, 1, p1, 100.0, 2, 10.0)
+        assert 1 not in rig.store.fur
+        assert not rig.store.record(50, 0).in_fur
+        rig.store.validate()
+
+    def test_large_circle_enters_tree(self):
+        rig = _Rig(threshold=0.8)
+        rig.query(50, 200.0, 100.0)
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.object(2, 185.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, 2, 85.0)
+        assert 1 in rig.store.fur
+        rig.store.validate()
+
+    def test_threshold_crossing_migrates(self):
+        rig = _Rig(threshold=0.8)
+        rig.query(50, 200.0, 100.0)
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.object(2, 110.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, 2, 10.0)
+        assert 1 not in rig.store.fur
+        # certificate drifts outward: radius grows past the threshold
+        old = rig.grid.positions[2]
+        new = Point(190.0, 100.0)
+        rig.grid.move_object(2, new)
+        rig.store.handle_update(2, old, new)
+        assert rig.store.record(50, 0).radius == 90.0
+        assert 1 in rig.store.fur
+        # and back down
+        old = rig.grid.positions[2]
+        new = Point(105.0, 100.0)
+        rig.grid.move_object(2, new)
+        rig.store.handle_update(2, old, new)
+        assert rig.store.record(50, 0).radius == 5.0
+        assert 1 not in rig.store.fur
+        rig.store.validate()
+
+    def test_rnn_circles_always_in_tree(self):
+        """radius == d(q, cand) always beats any threshold < 1."""
+        rig = _Rig(threshold=0.95)
+        rig.query(50, 200.0, 100.0)
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, None)
+        assert 1 in rig.store.fur
+        rig.store.validate()

@@ -1,0 +1,91 @@
+"""Cross-system consistency: every RNN implementation in the library must
+agree on the same recorded workload.
+
+This is the library's strongest end-to-end statement: the incremental
+monitor (all three variants), the correctness-first RkNN monitor at k=1,
+the TPL-FUR recompute baseline, static SAE/TPL/Rdnn snapshots, and the
+brute-force oracle all compute the same results at every timestamp of a
+realistic network workload.
+"""
+
+import random
+
+import pytest
+
+from repro.core.baseline import TPLFURBaseline
+from repro.core.oracle import BruteForceMonitor, brute_force_rnn
+from repro.geometry.rect import Rect
+from repro.mobility.trace import Trace
+from repro.mobility.workload import Workload, WorkloadSpec
+from repro.monitors import RknnMonitor
+
+from .conftest import TEST_BOUNDS, make_monitor
+
+
+@pytest.fixture(scope="module")
+def trace() -> Trace:
+    spec = WorkloadSpec(
+        num_objects=120,
+        num_queries=8,
+        object_mobility=0.25,
+        query_mobility=0.15,
+        timestamps=8,
+        seed=99,
+        bounds=TEST_BOUNDS,
+    )
+    return Trace.record(Workload(spec))
+
+
+def test_all_continuous_systems_agree(trace):
+    oracle = BruteForceMonitor()
+    baseline = TPLFURBaseline()
+    monitors = {v: make_monitor(v, grid_cells=12) for v in ("uniform", "lu-only", "lu+pi")}
+    rknn = RknnMonitor(TEST_BOUNDS, grid_cells=12)
+
+    trace.load_into(oracle)
+    trace.load_into(baseline)
+    for mon in monitors.values():
+        trace.load_into(mon)
+    trace.load_into(rknn)  # k defaults to 1
+
+    for step, batch in enumerate(trace.batches):
+        oracle.process(batch)
+        baseline_results = baseline.process(batch)
+        for mon in monitors.values():
+            mon.process(batch)
+        rknn.process(batch)
+        for qid in oracle.queries:
+            want = oracle.rnn(qid)
+            assert baseline_results[qid] == want, f"TPL-FUR step {step} q{qid}"
+            for name, mon in monitors.items():
+                assert mon.rnn(qid) == want, f"{name} step {step} q{qid}"
+            assert rknn.rknn(qid) == want, f"RkNN step {step} q{qid}"
+
+    for mon in monitors.values():
+        mon.validate()
+    rknn.validate()
+
+
+def test_static_algorithms_agree_on_final_snapshot(trace):
+    from repro.grid.index import GridIndex
+    from repro.rnn.rdnn import RdnnIndex
+    from repro.rnn.sae import sae_rnn
+    from repro.rnn.tpl import tpl_rnn
+    from repro.rtree.furtree import bulk_load
+
+    oracle = BruteForceMonitor()
+    trace.replay(oracle)
+    positions = dict(oracle.positions)
+
+    grid = GridIndex(TEST_BOUNDS, 12)
+    rdnn = RdnnIndex()
+    for oid, pos in positions.items():
+        grid.insert_object(oid, pos)
+        rdnn.insert(oid, pos)
+    tree = bulk_load(positions)
+
+    for qid, (qpos, _) in oracle.queries.items():
+        want = set(brute_force_rnn(positions, qpos))
+        assert sae_rnn(grid, qpos) == want, f"SAE q{qid}"
+        assert tpl_rnn(tree, qpos) == want, f"TPL q{qid}"
+        assert rdnn.rnn(qpos) == want, f"Rdnn q{qid}"

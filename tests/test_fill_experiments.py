@@ -1,0 +1,66 @@
+"""Tests for the EXPERIMENTS.md filling utility."""
+
+import json
+
+from repro.bench.fill_experiments import fill, main
+
+
+RESULTS = {
+    "fig14a": {
+        "title": "t",
+        "x_label": "objects",
+        "x_values": [10, 20],
+        "series": {"TPL-FUR": [0.5, 1.0], "LU+PI": [0.1, 0.2]},
+    },
+    "ablc": {"initCRNN": 0.0012, "six separate searches": 0.0010},
+}
+
+MARKDOWN = """# doc
+
+**Measured:**
+
+<!--FIG14A-->
+
+tail text
+
+<!--ABLC-->
+
+## next section
+"""
+
+
+class TestFill:
+    def test_fills_sweep_and_timing(self, tmp_path):
+        results = tmp_path / "r.json"
+        results.write_text(json.dumps(RESULTS))
+        md = tmp_path / "doc.md"
+        md.write_text(MARKDOWN)
+        assert fill(str(results), str(md)) == 0
+        text = md.read_text()
+        assert "| objects | TPL-FUR | LU+PI |" in text
+        assert "| 10 | 0.50000 | 0.10000 |" in text
+        assert "initCRNN: 1.200 ms" in text
+        assert "<!--FIG14A-->" in text  # marker kept for re-filling
+        assert "tail text" in text
+        assert "## next section" in text
+
+    def test_refill_is_idempotent(self, tmp_path):
+        results = tmp_path / "r.json"
+        results.write_text(json.dumps(RESULTS))
+        md = tmp_path / "doc.md"
+        md.write_text(MARKDOWN)
+        fill(str(results), str(md))
+        once = md.read_text()
+        fill(str(results), str(md))
+        assert md.read_text() == once
+
+    def test_unknown_marker_left_alone(self, tmp_path):
+        results = tmp_path / "r.json"
+        results.write_text(json.dumps(RESULTS))
+        md = tmp_path / "doc.md"
+        md.write_text("<!--NOSUCH-->\n\nrest\n")
+        fill(str(results), str(md))
+        assert "<!--NOSUCH-->" in md.read_text()
+
+    def test_cli_usage_error(self):
+        assert main([]) == 2

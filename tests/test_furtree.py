@@ -1,0 +1,171 @@
+"""Tests for the FUR-tree: hash access, bottom-up updates, radius aggregates."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, dist
+from repro.rtree.furtree import FURTree, bulk_load
+from repro.rtree.node import LeafEntry
+
+coords = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+def _tree_with(positions: dict[int, Point], max_entries: int = 5) -> FURTree:
+    tree = FURTree(max_entries=max_entries)
+    for oid, pos in positions.items():
+        tree.insert(LeafEntry(oid, pos))
+    return tree
+
+
+class TestHashAccess:
+    def test_contains_and_get_entry(self):
+        tree = _tree_with({1: Point(2.0, 3.0)})
+        assert 1 in tree and 2 not in tree
+        assert tree.get_entry(1).pos == Point(2.0, 3.0)
+        with pytest.raises(KeyError):
+            tree.get_entry(2)
+
+    def test_delete_by_id(self):
+        tree = _tree_with({i: Point(float(i), float(i)) for i in range(30)})
+        tree.delete_by_id(7)
+        assert 7 not in tree and len(tree) == 29
+        tree.validate()
+
+    def test_hash_survives_splits(self):
+        rng = random.Random(1)
+        tree = FURTree(max_entries=4)
+        for oid in range(120):
+            tree.insert(LeafEntry(oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000))))
+        tree.validate()  # includes hash/leaf consistency
+
+
+class TestBottomUpUpdate:
+    def test_update_in_place(self):
+        rng = random.Random(0)
+        tree = _tree_with(
+            {i: Point(rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(10)}
+        )
+        # Move an entry to the centre of its own leaf MBR: guaranteed local.
+        leaf = tree.leaf_of[3]
+        target = leaf.mbr.center
+        before = tree.stats.fur_topdown_reinserts
+        tree.update(3, target)
+        assert tree.get_entry(3).pos == target
+        assert tree.stats.fur_topdown_reinserts == before
+        tree.validate()
+
+    def test_update_faraway_falls_back(self):
+        rng = random.Random(2)
+        tree = _tree_with(
+            {oid: Point(rng.uniform(0, 100), rng.uniform(0, 100)) for oid in range(40)}
+        )
+        before = tree.stats.fur_topdown_reinserts
+        tree.update(0, Point(999.0, 999.0))
+        assert tree.stats.fur_topdown_reinserts == before + 1
+        assert tree.get_entry(0).pos == Point(999.0, 999.0)
+        tree.validate()
+
+    def test_update_unknown_raises(self):
+        tree = _tree_with({1: Point(1.0, 1.0)})
+        with pytest.raises(KeyError):
+            tree.update(99, Point(2.0, 2.0))
+
+    def test_local_updates_mostly_bottom_up(self):
+        """The FUR-tree's reason to exist: locality keeps updates cheap."""
+        rng = random.Random(3)
+        positions = {
+            oid: Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for oid in range(300)
+        }
+        tree = _tree_with(positions, max_entries=10)
+        for _ in range(600):
+            oid = rng.randrange(300)
+            p = positions[oid]
+            np_ = Point(
+                min(1000.0, max(0.0, p.x + rng.gauss(0, 15))),
+                min(1000.0, max(0.0, p.y + rng.gauss(0, 15))),
+            )
+            positions[oid] = np_
+            tree.update(oid, np_)
+        tree.validate()
+        assert tree.stats.fur_bottom_up_updates > tree.stats.fur_topdown_reinserts
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(points, min_size=5, max_size=60), st.data())
+    def test_random_update_storm_preserves_invariants(self, pts, data):
+        positions = dict(enumerate(pts))
+        tree = _tree_with(positions)
+        for _ in range(30):
+            oid = data.draw(st.sampled_from(sorted(positions)))
+            new_pos = data.draw(points)
+            positions[oid] = new_pos
+            tree.update(oid, new_pos)
+        tree.validate()
+        for oid, pos in positions.items():
+            assert tree.get_entry(oid).pos == pos
+
+
+class TestRadiusMaintenance:
+    def test_update_radius_grow_and_shrink(self):
+        rng = random.Random(5)
+        tree = FURTree(max_entries=4)
+        radii = {}
+        for oid in range(50):
+            radii[oid] = rng.uniform(1, 50)
+            tree.insert(
+                LeafEntry(
+                    oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)), radius=radii[oid]
+                )
+            )
+        tree.validate()
+        for _ in range(200):
+            oid = rng.randrange(50)
+            radii[oid] = rng.uniform(0, 100)
+            tree.update_radius(oid, radii[oid])
+        tree.validate()
+        for oid, r in radii.items():
+            assert tree.get_entry(oid).radius == r
+
+    def test_containment_after_radius_updates(self):
+        tree = FURTree(max_entries=4)
+        tree.insert(LeafEntry(1, Point(100.0, 100.0), radius=5.0))
+        probe = Point(104.0, 100.0)
+        assert {e.oid for e in tree.containment_search(probe)} == {1}
+        tree.update_radius(1, 2.0)
+        assert tree.containment_search(probe) == []
+        tree.update_radius(1, 50.0)
+        assert {e.oid for e in tree.containment_search(probe)} == {1}
+
+    def test_update_with_new_radius(self):
+        tree = _tree_with({1: Point(10.0, 10.0)})
+        tree.update(1, Point(12.0, 10.0), new_radius=7.5)
+        entry = tree.get_entry(1)
+        assert entry.pos == Point(12.0, 10.0) and entry.radius == 7.5
+        tree.validate()
+
+
+class TestBulkLoad:
+    def test_str_packing(self):
+        rng = random.Random(6)
+        positions = {
+            oid: Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for oid in range(500)
+        }
+        tree = bulk_load(positions, max_entries=16)
+        tree.validate()
+        assert len(tree) == 500
+        assert {e.oid for e in tree.entries()} == set(positions)
+
+    def test_empty(self):
+        tree = bulk_load({})
+        assert len(tree) == 0
+
+    def test_queries_after_bulk_load(self):
+        positions = {oid: Point(float(oid), float(oid % 7)) for oid in range(100)}
+        tree = bulk_load(positions, max_entries=8)
+        q = Point(50.0, 3.0)
+        got = tree.nn_search(q, k=1)[0]
+        want = min(dist(q, p) for p in positions.values())
+        assert got[0] == want

@@ -1,0 +1,53 @@
+"""Tests for circles (circ-region geometry)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+radii = st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+class TestContainment:
+    def test_open_vs_closed_on_perimeter(self):
+        c = Circle(Point(0.0, 0.0), 5.0)
+        on_perimeter = Point(3.0, 4.0)
+        assert not c.contains_open(on_perimeter)
+        assert c.contains_closed(on_perimeter)
+
+    def test_interior(self):
+        c = Circle(Point(0.0, 0.0), 5.0)
+        assert c.contains_open(Point(1.0, 1.0))
+
+    @given(points, radii, points)
+    def test_open_implies_closed(self, center, r, p):
+        c = Circle(center, r)
+        if c.contains_open(p):
+            assert c.contains_closed(p)
+
+    @given(points, radii, points)
+    def test_closed_matches_distance(self, center, r, p):
+        assert Circle(center, r).contains_closed(p) == (dist(center, p) <= r)
+
+
+class TestRectRelations:
+    def test_intersects_rect(self):
+        c = Circle(Point(0.0, 0.0), 1.0)
+        assert c.intersects_rect(Rect(0.5, 0.5, 2.0, 2.0))
+        assert not c.intersects_rect(Rect(2.0, 2.0, 3.0, 3.0))
+
+    def test_covers_rect(self):
+        c = Circle(Point(0.0, 0.0), 10.0)
+        assert c.covers_rect(Rect(-1.0, -1.0, 1.0, 1.0))
+        assert not c.covers_rect(Rect(9.0, 9.0, 11.0, 11.0))
+
+    @given(points, radii)
+    def test_covers_implies_intersects(self, center, r):
+        c = Circle(center, r)
+        rect = Rect(center.x - r / 4, center.y - r / 4, center.x + r / 4, center.y + r / 4)
+        if c.covers_rect(rect):
+            assert c.intersects_rect(rect)

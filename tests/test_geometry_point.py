@@ -1,0 +1,70 @@
+"""Unit and property tests for the point/distance primitives."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, dist, dist_point_segment, dist_sq
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_unpacks_like_tuple(self):
+        x, y = Point(1.0, 2.0)
+        assert (x, y) == (1.0, 2.0)
+
+    def test_translated(self):
+        assert Point(1.0, 2.0).translated(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_dist_to_matches_module_function(self):
+        a, b = Point(0.0, 0.0), Point(3.0, 4.0)
+        assert a.dist_to(b) == dist(a, b) == 5.0
+
+    def test_dist_sq(self):
+        assert dist_sq(Point(0.0, 0.0), Point(3.0, 4.0)) == 25.0
+
+    def test_point_is_hashable_and_comparable(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert len({Point(1.0, 2.0), Point(1.0, 2.0)}) == 1
+
+
+class TestDistanceProperties:
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert dist(a, b) == dist(b, a)
+
+    @given(points)
+    def test_identity(self, a):
+        assert dist(a, a) == 0.0
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert dist(a, c) <= dist(a, b) + dist(b, c) + 1e-6
+
+    @given(points, points)
+    def test_dist_sq_consistent(self, a, b):
+        assert math.isclose(dist(a, b) ** 2, dist_sq(a, b), rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestPointSegment:
+    def test_degenerate_segment(self):
+        assert dist_point_segment(Point(3.0, 4.0), Point(0.0, 0.0), Point(0.0, 0.0)) == 5.0
+
+    def test_projection_inside(self):
+        assert dist_point_segment(Point(5.0, 3.0), Point(0.0, 0.0), Point(10.0, 0.0)) == 3.0
+
+    def test_projection_clamped_to_endpoint(self):
+        assert dist_point_segment(Point(-3.0, 4.0), Point(0.0, 0.0), Point(10.0, 0.0)) == 5.0
+
+    @given(points, points, points)
+    def test_never_exceeds_endpoint_distances(self, p, a, b):
+        d = dist_point_segment(p, a, b)
+        assert d <= min(dist(p, a), dist(p, b)) + 1e-9
+
+    @given(points, points)
+    def test_point_on_segment_is_zero(self, a, b):
+        mid = Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+        assert dist_point_segment(mid, a, b) < 1e-6 * (1.0 + dist(a, b))

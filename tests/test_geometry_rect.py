@@ -1,0 +1,101 @@
+"""Unit and property tests for rectangles."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+
+coords = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestBasics:
+    def test_dimensions(self):
+        r = Rect(0.0, 0.0, 4.0, 3.0)
+        assert r.width == 4.0
+        assert r.height == 3.0
+        assert r.area == 12.0
+        assert r.margin == 7.0
+        assert r.center == Point(2.0, 1.5)
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point(Point(2.0, 3.0))
+        assert r.area == 0.0
+        assert r.contains_point(Point(2.0, 3.0))
+
+    def test_corners_ccw(self):
+        r = Rect(0.0, 0.0, 1.0, 1.0)
+        assert r.corners() == (
+            Point(0.0, 0.0),
+            Point(1.0, 0.0),
+            Point(1.0, 1.0),
+            Point(0.0, 1.0),
+        )
+
+    def test_union_of(self):
+        r = Rect.union_of([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+        assert r == Rect(0, -1, 3, 1)
+
+    def test_containment_boundaries_closed(self):
+        r = Rect(0.0, 0.0, 1.0, 1.0)
+        assert r.contains_point(Point(0.0, 0.0))
+        assert r.contains_point(Point(1.0, 1.0))
+        assert not r.contains_point(Point(1.0000001, 1.0))
+
+    def test_intersects_touching_edges(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.01, 0, 2, 1))
+
+    def test_enlargement(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.enlargement(Rect(0, 0, 1, 1)) == 0.0
+        assert r.enlargement(Rect(0, 0, 4, 2)) == 4.0
+
+
+class TestDistances:
+    def test_mindist_inside_is_zero(self):
+        assert Rect(0, 0, 2, 2).mindist(Point(1, 1)) == 0.0
+
+    def test_mindist_side_and_corner(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.mindist(Point(3.0, 1.0)) == 1.0
+        assert r.mindist(Point(5.0, 6.0)) == 5.0
+
+    def test_maxdist(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.maxdist(Point(0, 0)) == math.hypot(2, 2)
+
+    @given(rects(), points)
+    def test_mindist_le_maxdist(self, r, p):
+        assert r.mindist(p) <= r.maxdist(p) + 1e-9
+
+    @given(rects(), points)
+    def test_mindist_bounds_distance_to_corners(self, r, p):
+        d = r.mindist(p)
+        for corner in r.corners():
+            assert d <= dist(p, corner) + 1e-9
+
+    @given(rects(), points)
+    def test_maxdist_reached_at_a_corner(self, r, p):
+        assert math.isclose(
+            r.maxdist(p), max(dist(p, c) for c in r.corners()), rel_tol=1e-12, abs_tol=1e-9
+        )
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects(), points)
+    def test_extended_to_contains_point(self, r, p):
+        assert r.extended_to(p).contains_point(p)

@@ -1,0 +1,89 @@
+"""Tests for the six-sector SAE partitioning."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, dist
+from repro.geometry.sector import (
+    NUM_SECTORS,
+    SECTOR_ANGLE,
+    point_in_sector,
+    sector_boundary_dirs,
+    sector_of,
+)
+
+coords = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestSectorOf:
+    def test_axis_points(self):
+        q = Point(0.0, 0.0)
+        assert sector_of(q, Point(1.0, 0.0)) == 0
+        assert sector_of(q, Point(0.0, 1.0)) == 1
+        assert sector_of(q, Point(-1.0, 0.0)) == 3
+        assert sector_of(q, Point(0.0, -1.0)) == 4
+
+    def test_boundary_ray_belongs_to_lower_sector(self):
+        q = Point(0.0, 0.0)
+        # 60-degree ray bounds sector 1 from below.
+        p = Point(math.cos(SECTOR_ANGLE), math.sin(SECTOR_ANGLE))
+        assert sector_of(q, p) == 1
+
+    def test_coincident_point_convention(self):
+        q = Point(5.0, 5.0)
+        assert sector_of(q, q) == 0
+
+    @given(points, points)
+    def test_always_valid_index(self, q, p):
+        assert 0 <= sector_of(q, p) < NUM_SECTORS
+
+    @given(points, points)
+    def test_consistent_with_closed_membership(self, q, p):
+        s = sector_of(q, p)
+        assert point_in_sector(q, p, s)
+
+    @given(points, st.floats(min_value=0.001, max_value=1e4), st.floats(min_value=0, max_value=2 * math.pi - 1e-9))
+    def test_angle_determines_sector(self, q, r, angle):
+        # Directions within one ulp of a boundary ray may legitimately
+        # land on either side; skip that measure-zero band.
+        if min(abs(angle - i * SECTOR_ANGLE) for i in range(NUM_SECTORS + 1)) < 1e-9:
+            return
+        p = Point(q.x + r * math.cos(angle), q.y + r * math.sin(angle))
+        if p == q:
+            return
+        recovered = math.atan2(p.y - q.y, p.x - q.x) % (2 * math.pi)
+        if min(abs(recovered - i * SECTOR_ANGLE) for i in range(NUM_SECTORS + 1)) < 1e-9:
+            return
+        expected = int(recovered / SECTOR_ANGLE)
+        assert sector_of(q, p) == min(expected, NUM_SECTORS - 1)
+
+
+class TestBoundaryDirs:
+    def test_unit_vectors(self):
+        for i in range(NUM_SECTORS):
+            (d0x, d0y), (d1x, d1y) = sector_boundary_dirs(i)
+            assert math.isclose(math.hypot(d0x, d0y), 1.0)
+            assert math.isclose(math.hypot(d1x, d1y), 1.0)
+
+    def test_adjacent_sectors_share_a_ray(self):
+        for i in range(NUM_SECTORS - 1):
+            upper = sector_boundary_dirs(i)[1]
+            lower = sector_boundary_dirs(i + 1)[0]
+            assert upper == lower
+
+
+class TestSaeLemma:
+    """The property SAE is built on: within one sector, a nearer object
+    disqualifies any farther object from being an RNN."""
+
+    @given(points, points, points)
+    def test_nearer_object_disproves_farther_same_sector(self, q, a, b):
+        if a == q or b == q or a == b:
+            return
+        if sector_of(q, a) != sector_of(q, b):
+            return
+        near, far = (a, b) if dist(q, a) <= dist(q, b) else (b, a)
+        assert dist(near, far) < dist(q, far) + 1e-9 * (1.0 + dist(q, far))

@@ -1,0 +1,149 @@
+"""Tests for wedge clipping and sector-constrained distances."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, dist, dist_point_segment
+from repro.geometry.rect import Rect
+from repro.geometry.sector import NUM_SECTORS, point_in_sector
+from repro.geometry.wedge import (
+    _point_in_convex_polygon,
+    clip_rect_to_sector,
+    mindist_rect_in_sector,
+    mindist_rect_in_sectors,
+    rect_intersects_pie,
+    rect_maybe_intersects_sector,
+)
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+sectors = st.integers(min_value=0, max_value=NUM_SECTORS - 1)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+def _reference_mindist(q: Point, rect: Rect, sector: int) -> float:
+    """Slow reference: clip, then point-to-polygon distance.
+
+    The apex belongs to its own closed wedge, so when it lies inside the
+    (closed) rect the distance is zero by definition — the clipping
+    arithmetic cannot always recover that degenerate intersection.
+    """
+    if rect.contains_point(q):
+        return 0.0
+    poly = clip_rect_to_sector(rect, q, sector)
+    if not poly:
+        return math.inf
+    if len(poly) >= 3 and _point_in_convex_polygon(q[0], q[1], poly):
+        return 0.0
+    best = math.inf
+    n = len(poly)
+    for i in range(n):
+        a = Point(*poly[i])
+        b = Point(*poly[(i + 1) % n])
+        best = min(best, dist_point_segment(q, a, b))
+    return best
+
+
+class TestClipping:
+    def test_rect_fully_inside_sector_zero(self):
+        q = Point(0.0, 0.0)
+        rect = Rect(5.0, 1.0, 6.0, 2.0)  # well within angles 0..60
+        poly = clip_rect_to_sector(rect, q, 0)
+        assert len(poly) == 4
+
+    def test_rect_fully_outside(self):
+        q = Point(0.0, 0.0)
+        rect = Rect(-6.0, -2.0, -5.0, -1.0)  # opposite side
+        assert clip_rect_to_sector(rect, q, 0) == []
+
+    def test_apex_inside_rect_gives_zero(self):
+        q = Point(0.5, 0.5)
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        for s in range(NUM_SECTORS):
+            assert mindist_rect_in_sector(q, rect, s) == 0.0
+
+
+class TestMindistAgainstReference:
+    @settings(max_examples=300)
+    @given(points, rects(), sectors)
+    def test_fast_path_matches_clip_reference(self, q, rect, sector):
+        fast = mindist_rect_in_sector(q, rect, sector)
+        slow = _reference_mindist(q, rect, sector)
+        if math.isinf(fast) or math.isinf(slow):
+            assert fast == slow
+        else:
+            assert math.isclose(fast, slow, rel_tol=1e-9, abs_tol=1e-9)
+
+    @settings(max_examples=200)
+    @given(points, rects(), sectors)
+    def test_lower_bounds_points_inside(self, q, rect, sector):
+        d = mindist_rect_in_sector(q, rect, sector)
+        # sample the rect; any sampled point inside the sector must not
+        # be nearer than the reported mindist
+        for fx in (0.0, 0.3, 0.7, 1.0):
+            for fy in (0.0, 0.5, 1.0):
+                p = Point(
+                    rect.xmin + fx * rect.width, rect.ymin + fy * rect.height
+                )
+                # Float sampling can round the point out of the rect (or
+                # onto q, where sector membership is by convention).
+                if not rect.contains_point(p) or p == q:
+                    continue
+                if point_in_sector(q, p, sector):
+                    assert dist(q, p) >= d - 1e-6 * (1.0 + dist(q, p))
+
+    @settings(max_examples=200)
+    @given(points, rects(), sectors)
+    def test_at_least_plain_mindist(self, q, rect, sector):
+        d = mindist_rect_in_sector(q, rect, sector)
+        assert math.isinf(d) or d >= rect.mindist(q) - 1e-9
+
+
+class TestMindistMask:
+    @settings(max_examples=200)
+    @given(points, rects(), st.integers(min_value=1, max_value=63))
+    def test_mask_is_min_over_sectors(self, q, rect, mask):
+        combined = mindist_rect_in_sectors(q, rect, mask)
+        individual = [
+            mindist_rect_in_sector(q, rect, i)
+            for i in range(NUM_SECTORS)
+            if mask & (1 << i)
+        ]
+        expected = min(individual)
+        if math.isinf(expected):
+            assert math.isinf(combined)
+        else:
+            assert math.isclose(combined, expected, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(points, rects())
+    def test_full_mask_is_plain_mindist(self, q, rect):
+        assert mindist_rect_in_sectors(q, rect, 63) == rect.mindist(q)
+
+
+class TestConservativeOverlap:
+    @settings(max_examples=300)
+    @given(points, rects(), sectors)
+    def test_never_false_negative(self, q, rect, sector):
+        """A rect that truly meets the sector must never be filtered."""
+        if not math.isinf(mindist_rect_in_sector(q, rect, sector)):
+            assert rect_maybe_intersects_sector(q, rect, sector)
+
+
+class TestPieIntersection:
+    def test_bounded_pie(self):
+        q = Point(0.0, 0.0)
+        rect = Rect(5.0, 1.0, 6.0, 2.0)
+        assert rect_intersects_pie(q, rect, 0, 10.0)
+        assert not rect_intersects_pie(q, rect, 0, 2.0)
+
+    def test_unbounded_pie(self):
+        q = Point(0.0, 0.0)
+        assert rect_intersects_pie(q, Rect(1e5, 1.0, 1e5 + 1, 2.0), 0, math.inf)

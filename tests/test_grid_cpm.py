@@ -1,0 +1,232 @@
+"""Tests for the CPM conceptual rectangles and grid NN searches."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+from repro.geometry.sector import NUM_SECTORS, sector_of
+from repro.grid.cpm import (
+    DIRECTIONS,
+    ConceptualSpace,
+    constrained_nn_search,
+    nearest_neighbor,
+    nn_search,
+)
+from repro.grid.index import GridIndex
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+coords = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+def _grid_with(objects: dict[int, Point], n: int = 8) -> GridIndex:
+    g = GridIndex(BOUNDS, n)
+    for oid, p in objects.items():
+        g.insert_object(oid, p)
+    return g
+
+
+class TestConceptualSpace:
+    def test_rings_tile_the_grid(self):
+        """Every cell is covered exactly once by center + ring rects."""
+        g = GridIndex(BOUNDS, 9)
+        space = ConceptualSpace(g, Point(450.0, 450.0))
+        seen: dict[tuple[int, int], int] = {}
+        center = space.center_cell()
+        seen[(center.cx, center.cy)] = 1
+        for level in range(9):
+            for direction in DIRECTIONS:
+                for cell in space.cells_of(direction, level):
+                    key = (cell.cx, cell.cy)
+                    seen[key] = seen.get(key, 0) + 1
+        assert all(v == 1 for v in seen.values()), "overlapping rectangles"
+        assert len(seen) == 81, "cells missed by the tiling"
+
+    def test_rings_tile_with_corner_query(self):
+        g = GridIndex(BOUNDS, 6)
+        space = ConceptualSpace(g, Point(1.0, 999.0))
+        seen = {(space.center_cell().cx, space.center_cell().cy)}
+        for level in range(12):
+            for direction in DIRECTIONS:
+                for cell in space.cells_of(direction, level):
+                    key = (cell.cx, cell.cy)
+                    assert key not in seen
+                    seen.add(key)
+        assert len(seen) == 36
+
+    def test_rect_bounds_none_when_outside(self):
+        g = GridIndex(BOUNDS, 4)
+        space = ConceptualSpace(g, Point(500.0, 500.0))
+        assert space.rect_bounds("U", 10) is None
+
+    def test_rect_bounds_cover_their_cells(self):
+        g = GridIndex(BOUNDS, 5)
+        space = ConceptualSpace(g, Point(100.0, 800.0))
+        for direction in DIRECTIONS:
+            for level in range(5):
+                bounds = space.rect_bounds(direction, level)
+                if bounds is None:
+                    continue
+                for cell in space.cells_of(direction, level):
+                    assert bounds.contains_rect(cell.rect)
+
+
+class TestNNSearch:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(points, min_size=0, max_size=40, unique=True),
+        points,
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_knn_matches_brute_force(self, object_points, q, k):
+        objects = dict(enumerate(object_points))
+        g = _grid_with(objects)
+        got = nn_search(g, q, k=k)
+        want = sorted((dist(q, p), oid) for oid, p in objects.items())[:k]
+        assert [d for d, _ in got] == [d for d, _ in want]
+
+    def test_exclusion(self):
+        g = _grid_with({1: Point(10.0, 10.0), 2: Point(20.0, 20.0)})
+        q = Point(11.0, 11.0)
+        found = nearest_neighbor(g, q, exclude={1})
+        assert found is not None and found[1] == 2
+
+    def test_max_dist_bound(self):
+        g = _grid_with({1: Point(500.0, 500.0)})
+        assert nearest_neighbor(g, Point(0.0, 0.0), max_dist=10.0) is None
+        assert nearest_neighbor(g, Point(499.0, 500.0), max_dist=10.0) is not None
+
+    def test_empty_grid(self):
+        g = _grid_with({})
+        assert nn_search(g, Point(1.0, 1.0), k=3) == []
+
+    def test_object_on_query_position(self):
+        g = _grid_with({7: Point(123.0, 456.0)})
+        found = nearest_neighbor(g, Point(123.0, 456.0))
+        assert found == (0.0, 7)
+
+
+class TestConstrainedNNSearch:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(points, min_size=0, max_size=40, unique=True), points)
+    def test_matches_brute_force_per_sector(self, object_points, q):
+        objects = dict(enumerate(object_points))
+        g = _grid_with(objects)
+        for sector in range(NUM_SECTORS):
+            got = constrained_nn_search(g, q, sector)
+            want = None
+            for oid, p in objects.items():
+                if sector_of(q, p) == sector:
+                    d = dist(q, p)
+                    if want is None or d < want[0]:
+                        want = (d, oid)
+            if want is None:
+                assert got is None
+            else:
+                assert got is not None and got[0] == want[0]
+
+    def test_bounded_search_returns_none_beyond(self):
+        g = _grid_with({1: Point(900.0, 500.0)})
+        q = Point(100.0, 500.0)
+        assert constrained_nn_search(g, q, 0, max_dist=100.0) is None
+
+    def test_bounded_search_inclusive_at_bound(self):
+        g = _grid_with({1: Point(200.0, 500.0)})
+        q = Point(100.0, 500.0)
+        got = constrained_nn_search(g, q, 0, max_dist=100.0)
+        assert got is not None and got[1] == 1
+
+    def test_random_dense_grid_resolutions(self):
+        rng = random.Random(5)
+        for n in (2, 5, 31):
+            objects = {
+                oid: Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                for oid in range(60)
+            }
+            g = _grid_with(objects, n=n)
+            q = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            for sector in range(NUM_SECTORS):
+                got = constrained_nn_search(g, q, sector)
+                want = min(
+                    (
+                        (dist(q, p), oid)
+                        for oid, p in objects.items()
+                        if sector_of(q, p) == sector
+                    ),
+                    default=None,
+                )
+                if want is None:
+                    assert got is None
+                else:
+                    assert got is not None and got[0] == want[0]
+
+
+class TestConstrainedKnnSearch:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(points, min_size=0, max_size=40, unique=True),
+        points,
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_matches_brute_force(self, object_points, q, k):
+        from repro.grid.cpm import constrained_knn_search
+
+        objects = dict(enumerate(object_points))
+        g = _grid_with(objects)
+        for sector in range(NUM_SECTORS):
+            got = constrained_knn_search(g, q, sector, k=k)
+            want = sorted(
+                dist(q, p)
+                for oid, p in objects.items()
+                if sector_of(q, p) == sector
+            )[:k]
+            assert [d for d, _ in got] == want
+
+    def test_ascending_and_capped(self):
+        from repro.grid.cpm import constrained_knn_search
+
+        g = _grid_with({i: Point(100.0 + 50.0 * i, 510.0) for i in range(5)})
+        q = Point(50.0, 500.0)
+        got = constrained_knn_search(g, q, 0, k=3)
+        assert len(got) == 3
+        assert got == sorted(got)
+
+
+class TestCountWithin:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(points, min_size=0, max_size=40, unique=True),
+        points,
+        st.floats(min_value=0.0, max_value=800.0),
+    )
+    def test_matches_brute_force(self, object_points, center, radius):
+        from repro.grid.cpm import count_within
+
+        objects = dict(enumerate(object_points))
+        g = _grid_with(objects)
+        want = sum(1 for p in object_points if dist(center, p) < radius)
+        got = count_within(g, center, radius, limit=10**9)
+        assert got == want
+
+    def test_limit_short_circuits(self):
+        from repro.grid.cpm import count_within
+
+        g = _grid_with({i: Point(500.0 + i, 500.0) for i in range(20)})
+        assert count_within(g, Point(505.0, 500.0), 1000.0, limit=3) == 3
+
+    def test_strictness_at_boundary(self):
+        from repro.grid.cpm import count_within
+
+        g = _grid_with({1: Point(600.0, 500.0)})
+        assert count_within(g, Point(500.0, 500.0), 100.0, limit=5) == 0
+        assert count_within(g, Point(500.0, 500.0), 100.0001, limit=5) == 1
+
+    def test_exclusion(self):
+        from repro.grid.cpm import count_within
+
+        g = _grid_with({1: Point(500.0, 500.0), 2: Point(501.0, 500.0)})
+        assert count_within(g, Point(500.0, 500.0), 10.0, limit=5, exclude={1}) == 1

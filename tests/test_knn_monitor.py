@@ -1,0 +1,145 @@
+"""Tests for the continuous k-NN monitor (CPM setting)."""
+
+import random
+
+import pytest
+
+from repro.core.events import ObjectUpdate
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+from repro.monitors import KnnMonitor
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def _monitor() -> KnnMonitor:
+    return KnnMonitor(BOUNDS, grid_cells=8)
+
+
+class TestBasics:
+    def test_initial_knn(self):
+        m = _monitor()
+        m.add_object(1, Point(100.0, 100.0))
+        m.add_object(2, Point(200.0, 100.0))
+        m.add_object(3, Point(900.0, 900.0))
+        assert m.add_query(10, Point(110.0, 100.0), k=2) == frozenset({1, 2})
+        assert [oid for _, oid in m.ordered_knn(10)] == [1, 2]
+
+    def test_k_validation(self):
+        m = _monitor()
+        with pytest.raises(ValueError):
+            m.add_query(10, Point(0.0, 0.0), k=0)
+
+    def test_fewer_objects_than_k(self):
+        m = _monitor()
+        m.add_object(1, Point(100.0, 100.0))
+        assert m.add_query(10, Point(0.0, 0.0), k=5) == frozenset({1})
+        # new objects keep flowing in until k is reached
+        m.add_object(2, Point(900.0, 900.0))
+        assert m.knn(10) == frozenset({1, 2})
+
+    def test_replacement_on_entry(self):
+        m = _monitor()
+        m.add_object(1, Point(100.0, 100.0))
+        m.add_object(2, Point(500.0, 100.0))
+        m.add_query(10, Point(0.0, 100.0), k=1)
+        assert m.knn(10) == frozenset({1})
+        m.update_object(2, Point(50.0, 100.0))
+        assert m.knn(10) == frozenset({2})
+
+    def test_member_leaving_triggers_research(self):
+        m = _monitor()
+        m.add_object(1, Point(100.0, 100.0))
+        m.add_object(2, Point(300.0, 100.0))
+        m.add_query(10, Point(0.0, 100.0), k=1)
+        m.update_object(1, Point(900.0, 900.0))
+        assert m.knn(10) == frozenset({2})
+
+    def test_member_deletion(self):
+        m = _monitor()
+        m.add_object(1, Point(100.0, 100.0))
+        m.add_object(2, Point(300.0, 100.0))
+        m.add_query(10, Point(0.0, 100.0), k=1)
+        m.remove_object(1)
+        assert m.knn(10) == frozenset({2})
+
+    def test_query_move(self):
+        m = _monitor()
+        m.add_object(1, Point(100.0, 100.0))
+        m.add_object(2, Point(900.0, 900.0))
+        m.add_query(10, Point(0.0, 0.0), k=1)
+        assert m.knn(10) == frozenset({1})
+        m.update_query(10, Point(999.0, 999.0))
+        assert m.knn(10) == frozenset({2})
+
+    def test_remove_query_cleans_watchers(self):
+        m = _monitor()
+        m.add_object(1, Point(100.0, 100.0))
+        m.add_query(10, Point(0.0, 0.0), k=1)
+        m.remove_query(10)
+        assert all(not c.watchers for c in m.grid.all_cells())
+
+
+class TestRandomised:
+    def test_against_brute_force(self):
+        rng = random.Random(9)
+        m = _monitor()
+        for oid in range(50):
+            m.add_object(oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+        for qid, k in ((10, 1), (11, 3), (12, 8)):
+            m.add_query(qid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)), k)
+        for step in range(300):
+            r = rng.random()
+            if r < 0.8:
+                m.update_object(
+                    rng.randrange(50), Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                )
+            else:
+                m.update_query(
+                    rng.choice((10, 11, 12)),
+                    Point(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+                )
+            m.validate()  # checks against brute force
+
+    def test_churn_with_insert_delete(self):
+        rng = random.Random(10)
+        m = _monitor()
+        live = set()
+        next_id = 0
+        for _ in range(20):
+            m.add_object(next_id, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+            live.add(next_id)
+            next_id += 1
+        m.add_query(10, Point(500.0, 500.0), k=4)
+        for step in range(250):
+            r = rng.random()
+            if r < 0.5 and live:
+                oid = rng.choice(sorted(live))
+                m.update_object(
+                    oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                )
+            elif r < 0.75:
+                m.add_object(next_id, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+                live.add(next_id)
+                next_id += 1
+            elif len(live) > 1:
+                oid = rng.choice(sorted(live))
+                m.remove_object(oid)
+                live.discard(oid)
+            m.validate()
+
+    def test_batch_api(self):
+        rng = random.Random(11)
+        m = _monitor()
+        for oid in range(30):
+            m.add_object(oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+        m.add_query(10, Point(500.0, 500.0), k=3)
+        for _ in range(60):
+            batch = [
+                ObjectUpdate(
+                    rng.randrange(30), Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                )
+                for _ in range(rng.randrange(1, 6))
+            ]
+            m.process(batch)
+            m.validate()

@@ -1,0 +1,133 @@
+"""Unit tests for the small supporting modules: events, config, stats,
+query table, grid cell bookkeeping."""
+
+import math
+
+import pytest
+
+from repro.core.config import LU_ONLY, LU_PI, UNIFORM, MonitorConfig
+from repro.core.events import ObjectUpdate, QueryUpdate, ResultChange
+from repro.core.query_table import QueryState, QueryTable
+from repro.core.stats import StatCounters
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.grid.cell import Cell
+
+
+class TestEvents:
+    def test_result_change_str(self):
+        assert str(ResultChange(5, 9, gained=True)) == "q5: +o9"
+        assert str(ResultChange(5, 9, gained=False)) == "q5: -o9"
+
+    def test_updates_are_frozen(self):
+        u = ObjectUpdate(1, Point(2.0, 3.0))
+        with pytest.raises(AttributeError):
+            u.oid = 2  # type: ignore[misc]
+
+    def test_deletion_encoding(self):
+        assert ObjectUpdate(1, None).pos is None
+        assert QueryUpdate(1, None).pos is None
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = MonitorConfig()
+        assert cfg.variant == LU_PI
+        assert cfg.effective_threshold == pytest.approx(0.8)
+        assert not cfg.eager_nn
+        assert cfg.uses_fur_store
+
+    def test_factories(self):
+        assert MonitorConfig.uniform().variant == UNIFORM
+        assert MonitorConfig.lu_only().variant == LU_ONLY
+        assert MonitorConfig.lu_pi().variant == LU_PI
+
+    def test_uniform_properties(self):
+        cfg = MonitorConfig.uniform()
+        assert cfg.eager_nn and not cfg.uses_fur_store
+
+    def test_lu_only_disables_partial_insert(self):
+        assert MonitorConfig.lu_only().effective_threshold == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(grid_cells=0)
+        with pytest.raises(ValueError):
+            MonitorConfig(partial_insert_threshold=0.0)
+
+
+class TestStats:
+    def test_snapshot_and_diff(self):
+        s = StatCounters()
+        s.nn_searches += 3
+        snap = s.snapshot()
+        s.nn_searches += 2
+        s.heap_pops += 7
+        diff = s.diff(snap)
+        assert diff["nn_searches"] == 2 and diff["heap_pops"] == 7
+
+    def test_reset(self):
+        s = StatCounters(nn_searches=5)
+        s.reset()
+        assert s.nn_searches == 0
+
+    def test_add(self):
+        a = StatCounters(nn_searches=1, heap_pops=2)
+        b = StatCounters(nn_searches=10)
+        c = a + b
+        assert c.nn_searches == 11 and c.heap_pops == 2
+
+
+class TestQueryTable:
+    def test_add_get_remove(self):
+        qt = QueryTable()
+        st = qt.add(5, Point(1.0, 2.0))
+        assert 5 in qt and len(qt) == 1
+        assert qt.get(5) is st
+        assert list(qt.ids()) == [5]
+        qt.remove(5)
+        assert 5 not in qt
+
+    def test_duplicate_rejected(self):
+        qt = QueryTable()
+        qt.add(5, Point(1.0, 2.0))
+        with pytest.raises(KeyError):
+            qt.add(5, Point(3.0, 4.0))
+
+    def test_initial_state(self):
+        st = QueryState(5, Point(1.0, 2.0))
+        assert st.cand == [None] * 6
+        assert all(math.isinf(d) for d in st.d_cand)
+        assert st.sector_of_candidate(9) is None
+        assert list(st.candidate_ids()) == []
+
+    def test_sector_of_candidate(self):
+        st = QueryState(5, Point(1.0, 2.0))
+        st.cand[3] = 42
+        assert st.sector_of_candidate(42) == 3
+        assert list(st.candidate_ids()) == [42]
+
+
+class TestCellBookkeeping:
+    def test_pie_mask_accumulates(self):
+        cell = Cell(0, 0, Rect(0, 0, 1, 1))
+        cell.add_pie_query(5, 0)
+        cell.add_pie_query(5, 3)
+        assert cell.pie_queries[5] == (1 << 0) | (1 << 3)
+        cell.remove_pie_query(5, 0)
+        assert cell.pie_queries[5] == 1 << 3
+        cell.remove_pie_query(5, 3)
+        assert 5 not in cell.pie_queries
+
+    def test_remove_unregistered_is_noop(self):
+        cell = Cell(0, 0, Rect(0, 0, 1, 1))
+        cell.remove_pie_query(5, 0)
+        cell.remove_pie_query(5, 2)
+        assert cell.pie_queries == {}
+
+    def test_clear(self):
+        cell = Cell(0, 0, Rect(0, 0, 1, 1))
+        cell.add_pie_query(5, 0)
+        cell.add_pie_query(6, 1)
+        cell.clear_pie_query(5)
+        assert 5 not in cell.pie_queries and 6 in cell.pie_queries

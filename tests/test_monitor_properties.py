@@ -1,0 +1,120 @@
+"""Hypothesis property tests on whole-monitor behaviours.
+
+Complements the stateful machine with targeted properties: known RNN
+facts (≤6 results per query; mutual-nearest pairs are always results),
+permutation invariance of batch construction, and idempotence.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.events import ObjectUpdate
+from repro.core.oracle import brute_force_rnn
+from repro.geometry.point import Point, dist
+
+from .conftest import make_monitor
+
+# Lattice coordinates (see test_rnn_static.py for the rationale).
+coords = st.integers(min_value=0, max_value=500).map(lambda i: i * 2.0)
+points = st.builds(Point, coords, coords)
+
+
+def _fresh(variant, objects, query):
+    mon = make_monitor(variant, grid_cells=6)
+    for oid, p in objects.items():
+        mon.add_object(oid, p)
+    mon.add_query(9_999, query)
+    return mon
+
+
+class TestKnownRnnFacts:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=30, unique=True), points)
+    def test_at_most_six_results(self, pts, q):
+        objects = {i: p for i, p in enumerate(pts) if p != q}
+        for variant in ("uniform", "lu-only", "lu+pi"):
+            mon = _fresh(variant, objects, q)
+            assert len(mon.rnn(9_999)) <= 6
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(points, min_size=2, max_size=20, unique=True), points)
+    def test_mutual_nearest_pair_contains_a_result(self, pts, q):
+        """If q's NN o has q nearer than any other object, o is an RNN.
+
+        (Note the monochromatic subtlety: q's NN is *not* automatically
+        an RNN — another object can sit closer to it than q.)
+        """
+        objects = {i: p for i, p in enumerate(pts) if p != q}
+        if not objects:
+            return
+        best_oid, best_pos = min(
+            objects.items(), key=lambda kv: (dist(q, kv[1]), kv[0])
+        )
+        d_q = dist(q, best_pos)
+        others = [p for oid, p in objects.items() if oid != best_oid]
+        if any(dist(best_pos, p) < d_q for p in others):
+            return  # disproved: the fact does not apply
+        mon = _fresh("lu+pi", objects, q)
+        assert best_oid in mon.rnn(9_999)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=25, unique=True), points)
+    def test_monitor_matches_oracle_after_build(self, pts, q):
+        objects = {i: p for i, p in enumerate(pts) if p != q}
+        for variant in ("uniform", "lu-only", "lu+pi"):
+            mon = _fresh(variant, objects, q)
+            assert mon.rnn(9_999) == brute_force_rnn(objects, q)
+
+
+class TestUpdateProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(points, min_size=3, max_size=15, unique=True),
+        points,
+        st.data(),
+    )
+    def test_batch_order_does_not_matter_for_distinct_objects(self, pts, q, data):
+        """Updates of *distinct* objects commute within one batch."""
+        objects = {i: p for i, p in enumerate(pts) if p != q}
+        if len(objects) < 3:
+            return
+        ids = sorted(objects)[:3]
+        targets = data.draw(
+            st.lists(points.filter(lambda p: p != q), min_size=3, max_size=3)
+        )
+        updates = [ObjectUpdate(oid, t) for oid, t in zip(ids, targets)]
+        results = []
+        for ordering in (updates, updates[::-1]):
+            mon = _fresh("lu+pi", objects, q)
+            mon.process(list(ordering))
+            results.append(mon.rnn(9_999))
+        assert results[0] == results[1]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=15, unique=True), points, points)
+    def test_update_then_revert_restores_result(self, pts, q, target):
+        objects = {i: p for i, p in enumerate(pts) if p != q}
+        if not objects or target == q:
+            return
+        oid = sorted(objects)[0]
+        original = objects[oid]
+        mon = _fresh("lu+pi", objects, q)
+        before = mon.rnn(9_999)
+        mon.update_object(oid, target)
+        mon.update_object(oid, original)
+        assert mon.rnn(9_999) == before
+        mon.validate()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=15, unique=True), points)
+    def test_noop_update_changes_nothing(self, pts, q):
+        objects = {i: p for i, p in enumerate(pts) if p != q}
+        if not objects:
+            return
+        oid = sorted(objects)[0]
+        mon = _fresh("lu-only", objects, q)
+        before = mon.rnn(9_999)
+        mon.drain_events()
+        mon.update_object(oid, objects[oid])
+        assert mon.rnn(9_999) == before
+        assert mon.drain_events() == []

@@ -1,0 +1,147 @@
+"""Hypothesis state-machine test: the monitor is a faithful RNN oracle.
+
+A ``RuleBasedStateMachine`` drives one monitor per variant plus the
+brute-force oracle through arbitrary interleavings of object/query
+inserts, moves, deletions and batches; every rule asserts full result
+agreement, and invariants re-validate the internal structures.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.events import ObjectUpdate
+from repro.core.oracle import BruteForceMonitor
+from repro.geometry.point import Point
+
+from .conftest import make_monitor
+
+# Lattice coordinates: see test_rnn_static.py — keeps SAE's strictness
+# lemma numerically meaningful.
+coords = st.integers(min_value=0, max_value=500).map(lambda i: i * 2.0)
+points = st.builds(Point, coords, coords)
+
+
+class MonitorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.monitors = {v: make_monitor(v, grid_cells=6) for v in ("uniform", "lu-only", "lu+pi")}
+        self.oracle = BruteForceMonitor()
+        self.next_oid = 0
+        self.next_qid = 10_000
+        self.oids: list[int] = []
+        self.qids: list[int] = []
+
+    def _query_positions(self) -> set[Point]:
+        return {self.oracle.queries[qid][0] for qid in self.qids}
+
+    def _object_positions(self) -> set[Point]:
+        return set(self.oracle.positions.values())
+
+    @initialize(pts=st.lists(points, min_size=1, max_size=10))
+    def seed_objects(self, pts):
+        for p in pts:
+            self.add_object(p)
+
+    def add_object(self, p: Point):
+        # An object exactly on a query point violates SAE's candidate
+        # lemma (documented precondition of the paper's method).
+        if p in self._query_positions():
+            return
+        oid = self.next_oid
+        self.next_oid += 1
+        self.oids.append(oid)
+        for mon in self.monitors.values():
+            mon.add_object(oid, p)
+        self.oracle.add_object(oid, p)
+
+    @rule(p=points)
+    def insert_object(self, p):
+        self.add_object(p)
+
+    @rule(p=points, data=st.data())
+    def move_object(self, p, data):
+        if not self.oids or p in self._query_positions():
+            return
+        oid = data.draw(st.sampled_from(self.oids))
+        for mon in self.monitors.values():
+            mon.update_object(oid, p)
+        self.oracle.update_object(oid, p)
+
+    @rule(data=st.data())
+    def delete_object(self, data):
+        if len(self.oids) <= 1:
+            return
+        oid = self.oids.pop(data.draw(st.integers(0, len(self.oids) - 1)))
+        for mon in self.monitors.values():
+            mon.remove_object(oid)
+        self.oracle.remove_object(oid)
+
+    @rule(p=points)
+    def register_query(self, p):
+        if len(self.qids) >= 6 or p in self._object_positions():
+            return
+        qid = self.next_qid
+        self.next_qid += 1
+        self.qids.append(qid)
+        want = self.oracle.add_query(qid, p)
+        for name, mon in self.monitors.items():
+            assert mon.add_query(qid, p) == want, name
+
+    @rule(p=points, data=st.data())
+    def move_query(self, p, data):
+        if not self.qids or p in self._object_positions():
+            return
+        qid = data.draw(st.sampled_from(self.qids))
+        for mon in self.monitors.values():
+            mon.update_query(qid, p)
+        self.oracle.update_query(qid, p)
+
+    @rule(data=st.data())
+    def drop_query(self, data):
+        if not self.qids:
+            return
+        qid = self.qids.pop(data.draw(st.integers(0, len(self.qids) - 1)))
+        for mon in self.monitors.values():
+            mon.remove_query(qid)
+        self.oracle.remove_query(qid)
+
+    @rule(pts=st.lists(points, min_size=1, max_size=5), data=st.data())
+    def batch_moves(self, pts, data):
+        if not self.oids:
+            return
+        forbidden = self._query_positions()
+        batch = [
+            ObjectUpdate(data.draw(st.sampled_from(self.oids)), p)
+            for p in pts
+            if p not in forbidden
+        ]
+        if not batch:
+            return
+        for mon in self.monitors.values():
+            mon.process(batch)
+        self.oracle.process(batch)
+
+    @invariant()
+    def results_agree(self):
+        for qid in self.qids:
+            want = self.oracle.rnn(qid)
+            for name, mon in self.monitors.items():
+                got = mon.rnn(qid)
+                assert got == want, f"{name}: q{qid} {sorted(got)} != {sorted(want)}"
+
+    @invariant()
+    def structures_valid(self):
+        for mon in self.monitors.values():
+            mon.validate()
+
+
+MonitorMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestMonitorMachine = MonitorMachine.TestCase

@@ -1,0 +1,158 @@
+"""Tests for predictive (time-parameterised) NN/RNN over linear motion."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.oracle import brute_force_rnn
+from repro.geometry.point import Point, dist
+from repro.predictive import (
+    MovingPoint,
+    Quadratic,
+    dist_sq_quadratic,
+    predictive_nn,
+    predictive_rnn,
+    result_at,
+)
+
+
+def _mp(x, y, vx=0.0, vy=0.0) -> MovingPoint:
+    return MovingPoint(Point(x, y), (vx, vy))
+
+
+class TestKinematics:
+    def test_at(self):
+        p = _mp(1.0, 2.0, 3.0, -1.0)
+        assert p.at(0.0) == Point(1.0, 2.0)
+        assert p.at(2.0) == Point(7.0, 0.0)
+
+    def test_dist_sq_quadratic_matches_positions(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            p = _mp(*(rng.uniform(-10, 10) for _ in range(4)))
+            q = _mp(*(rng.uniform(-10, 10) for _ in range(4)))
+            quad = dist_sq_quadratic(p, q)
+            for t in (0.0, 0.5, 1.7, 4.2):
+                expected = dist(p.at(t), q.at(t)) ** 2
+                assert math.isclose(quad(t), expected, rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_quadratic_roots(self):
+        assert Quadratic(1.0, 0.0, -4.0).roots() == [-2.0, 2.0]
+        assert Quadratic(0.0, 2.0, -4.0).roots() == [2.0]
+        assert Quadratic(0.0, 0.0, 1.0).roots() == []
+        assert Quadratic(1.0, 0.0, 1.0).roots() == []
+
+
+class TestPredictiveNN:
+    def test_static_points(self):
+        objects = {1: _mp(10.0, 0.0), 2: _mp(50.0, 0.0)}
+        segments = predictive_nn(objects, _mp(0.0, 0.0), horizon=10.0)
+        assert segments == [(0.0, 10.0, frozenset({1}))]
+
+    def test_overtaking(self):
+        # o2 starts far but moves toward the query; o1 static and near.
+        objects = {1: _mp(10.0, 0.0), 2: _mp(100.0, 0.0, -10.0, 0.0)}
+        segments = predictive_nn(objects, _mp(0.0, 0.0), horizon=10.0)
+        assert result_at(segments, 0.0) == frozenset({1})
+        assert result_at(segments, 9.5) == frozenset({2})
+        # crossover at |100 - 10t| = 10 -> t = 9
+        change = [s for s in segments if s[2] == frozenset({2})][0][0]
+        assert math.isclose(change, 9.0, abs_tol=1e-6)
+
+    def test_empty(self):
+        assert predictive_nn({}, _mp(0.0, 0.0), 5.0) == [(0.0, 5.0, frozenset())]
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            predictive_nn({}, _mp(0.0, 0.0), 0.0)
+
+    def test_against_sampling(self):
+        rng = random.Random(2)
+        objects = {
+            oid: _mp(
+                rng.uniform(0, 100), rng.uniform(0, 100),
+                rng.uniform(-3, 3), rng.uniform(-3, 3),
+            )
+            for oid in range(8)
+        }
+        query = _mp(50.0, 50.0, rng.uniform(-3, 3), rng.uniform(-3, 3))
+        segments = predictive_nn(objects, query, horizon=20.0)
+        # segments tile the horizon
+        assert segments[0][0] == 0.0 and segments[-1][1] == 20.0
+        for (a, b, _), (c, d, _) in zip(segments, segments[1:]):
+            assert math.isclose(b, c, abs_tol=1e-9)
+        # midpoint sampling agrees with direct computation
+        for lo, hi, nn in segments:
+            mid = (lo + hi) / 2.0
+            best = min(dist(p.at(mid), query.at(mid)) for p in objects.values())
+            for oid in nn:
+                assert math.isclose(
+                    dist(objects[oid].at(mid), query.at(mid)), best, abs_tol=1e-6
+                )
+
+
+class TestPredictiveRNN:
+    def test_static_matches_brute_force(self):
+        rng = random.Random(3)
+        positions = {
+            oid: Point(rng.uniform(0, 100), rng.uniform(0, 100)) for oid in range(12)
+        }
+        objects = {oid: MovingPoint(p, (0.0, 0.0)) for oid, p in positions.items()}
+        q = Point(40.0, 60.0)
+        segments = predictive_rnn(objects, MovingPoint(q, (0.0, 0.0)), horizon=5.0)
+        assert len(segments) == 1
+        assert segments[0][2] == brute_force_rnn(positions, q)
+
+    def test_result_changes_with_motion(self):
+        # o2 flies past o1: while far away, o1 is an RNN; as o2 comes
+        # between o1 and the query, o1 stops being one.
+        objects = {
+            1: _mp(20.0, 0.0),
+            2: _mp(20.0, 100.0, 0.0, -10.0),
+        }
+        query = _mp(0.0, 0.0)
+        segments = predictive_rnn(objects, query, horizon=20.0)
+        assert 1 in result_at(segments, 0.0)
+        # at t=10, o2 sits exactly on o1 -> d(o1,o2)=0 < d(o1,q)=20
+        assert 1 not in result_at(segments, 10.0)
+        assert 1 in result_at(segments, 19.0)  # o2 has flown past
+
+    def test_sampled_agreement_random_motion(self):
+        rng = random.Random(4)
+        objects = {
+            oid: _mp(
+                rng.uniform(0, 100), rng.uniform(0, 100),
+                rng.uniform(-4, 4), rng.uniform(-4, 4),
+            )
+            for oid in range(10)
+        }
+        query = _mp(
+            rng.uniform(0, 100), rng.uniform(0, 100),
+            rng.uniform(-4, 4), rng.uniform(-4, 4),
+        )
+        segments = predictive_rnn(objects, query, horizon=10.0)
+        for lo, hi, expected in segments:
+            mid = (lo + hi) / 2.0
+            positions = {oid: p.at(mid) for oid, p in objects.items()}
+            assert expected == brute_force_rnn(positions, query.at(mid)), (lo, hi)
+
+    def test_segments_tile_horizon(self):
+        rng = random.Random(5)
+        objects = {
+            oid: _mp(
+                rng.uniform(0, 50), rng.uniform(0, 50),
+                rng.uniform(-2, 2), rng.uniform(-2, 2),
+            )
+            for oid in range(6)
+        }
+        segments = predictive_rnn(objects, _mp(25.0, 25.0, 1.0, 0.0), horizon=8.0)
+        assert segments[0][0] == 0.0 and segments[-1][1] == 8.0
+        # adjacent segments never carry the same result (they are merged)
+        for (_, _, r1), (_, _, r2) in zip(segments, segments[1:]):
+            assert r1 != r2
+
+    def test_result_at_out_of_range(self):
+        segments = predictive_rnn({1: _mp(1.0, 0.0)}, _mp(0.0, 0.0), horizon=2.0)
+        with pytest.raises(ValueError):
+            result_at(segments, 5.0)

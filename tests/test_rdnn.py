@@ -1,0 +1,127 @@
+"""Tests for the Rdnn-tree (pre-computed NN distances; static RNN)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oracle import brute_force_rnn
+from repro.geometry.point import Point, dist
+from repro.rnn.rdnn import RdnnIndex
+
+coords = st.integers(min_value=0, max_value=2000).map(lambda i: i * 0.5)
+points = st.builds(Point, coords, coords)
+
+
+class TestBasics:
+    def test_insert_and_query(self):
+        idx = RdnnIndex()
+        idx.insert(1, Point(100.0, 100.0))
+        assert idx.rnn(Point(500.0, 500.0)) == {1}
+        assert math.isinf(idx.nn_distance(1))
+
+    def test_duplicate_insert_rejected(self):
+        idx = RdnnIndex()
+        idx.insert(1, Point(1.0, 1.0))
+        with pytest.raises(KeyError):
+            idx.insert(1, Point(2.0, 2.0))
+
+    def test_dnn_maintained_on_insert(self):
+        idx = RdnnIndex()
+        idx.insert(1, Point(0.0, 0.0))
+        idx.insert(2, Point(10.0, 0.0))
+        assert idx.nn_distance(1) == 10.0
+        idx.insert(3, Point(3.0, 0.0))  # becomes o1's new NN
+        assert idx.nn_distance(1) == 3.0
+        assert idx.nn_distance(2) == 7.0
+        assert idx.nn_distance(3) == 3.0
+        idx.validate()
+
+    def test_dnn_repaired_on_delete(self):
+        idx = RdnnIndex()
+        idx.insert(1, Point(0.0, 0.0))
+        idx.insert(2, Point(3.0, 0.0))
+        idx.insert(3, Point(10.0, 0.0))
+        idx.delete(2)
+        assert idx.nn_distance(1) == 10.0
+        assert idx.nn_distance(3) == 10.0
+        idx.validate()
+
+    def test_move_noop(self):
+        idx = RdnnIndex()
+        idx.insert(1, Point(5.0, 5.0))
+        idx.move(1, Point(5.0, 5.0))
+        idx.validate()
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(points, min_size=0, max_size=30, unique=True), points)
+    def test_static_rnn(self, pts, q):
+        idx = RdnnIndex(max_entries=4)
+        positions = dict(enumerate(pts))
+        for oid, p in positions.items():
+            idx.insert(oid, p)
+        assert idx.rnn(q) == set(brute_force_rnn(positions, q))
+
+    def test_random_update_storm(self):
+        rng = random.Random(21)
+        idx = RdnnIndex(max_entries=5)
+        positions: dict[int, Point] = {}
+        next_id = 0
+        for step in range(250):
+            r = rng.random()
+            if r < 0.4 or not positions:
+                p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                idx.insert(next_id, p)
+                positions[next_id] = p
+                next_id += 1
+            elif r < 0.75:
+                oid = rng.choice(list(positions))
+                p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                idx.move(oid, p)
+                positions[oid] = p
+            else:
+                oid = rng.choice(list(positions))
+                idx.delete(oid)
+                del positions[oid]
+            if step % 25 == 0:
+                idx.validate()
+            q = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            assert idx.rnn(q) == set(brute_force_rnn(positions, q)), f"step {step}"
+        idx.validate()
+
+    def test_agrees_with_sae_and_tpl(self):
+        from repro.geometry.rect import Rect
+        from repro.grid.index import GridIndex
+        from repro.rnn.sae import sae_rnn
+        from repro.rnn.tpl import tpl_rnn
+        from repro.rtree.furtree import bulk_load
+
+        rng = random.Random(22)
+        positions = {
+            oid: Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for oid in range(50)
+        }
+        idx = RdnnIndex()
+        for oid, p in positions.items():
+            idx.insert(oid, p)
+        grid = GridIndex(Rect(0, 0, 1000, 1000), 8)
+        for oid, p in positions.items():
+            grid.insert_object(oid, p)
+        tree = bulk_load(positions)
+        for _ in range(25):
+            q = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            a = idx.rnn(q)
+            assert a == sae_rnn(grid, q) == tpl_rnn(tree, q)
+
+
+class TestExclusion:
+    def test_rnn_exclude(self):
+        idx = RdnnIndex()
+        idx.insert(1, Point(100.0, 100.0))
+        idx.insert(2, Point(900.0, 900.0))
+        q = Point(120.0, 100.0)
+        assert 1 in idx.rnn(q)
+        assert 1 not in idx.rnn(q, exclude={1})

@@ -1,0 +1,206 @@
+"""Tests for the static RNN algorithms: SAE (grid) and TPL (R-tree)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.oracle import brute_force_rknn, brute_force_rnn
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+from repro.geometry.sector import NUM_SECTORS, sector_of
+from repro.grid.index import GridIndex
+from repro.rnn.sae import is_false_positive, sae_candidates, sae_rnn
+from repro.rnn.tpl import tpl_rknn, tpl_rnn
+from repro.rtree.furtree import bulk_load
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+# Lattice coordinates: squared distances are exact multiples of 0.25,
+# giving the SAE candidate lemma a real numeric margin (adversarial
+# raw floats can make 1 - 1e-146 round to 1.0 and break strictness).
+coords = st.integers(min_value=0, max_value=2000).map(lambda i: i * 0.5)
+points = st.builds(Point, coords, coords)
+
+
+def _grid_with(objects: dict[int, Point], n: int = 8) -> GridIndex:
+    g = GridIndex(BOUNDS, n)
+    for oid, p in objects.items():
+        g.insert_object(oid, p)
+    return g
+
+
+def _distinct_from(q: Point, pts: list[Point]) -> dict[int, Point]:
+    """Objects coincident with the query violate SAE's candidate lemma
+    (documented precondition); keep positions distinct from q."""
+    return {i: p for i, p in enumerate(pts) if p != q}
+
+
+class TestSAECandidates:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(points, min_size=0, max_size=40, unique=True), points)
+    def test_candidates_are_sector_constrained_nns(self, pts, q):
+        objects = _distinct_from(q, pts)
+        g = _grid_with(objects)
+        cands = sae_candidates(g, q)
+        for sector in range(NUM_SECTORS):
+            in_sector = [
+                (dist(q, p), oid)
+                for oid, p in objects.items()
+                if sector_of(q, p) == sector
+            ]
+            if not in_sector:
+                assert cands[sector] is None
+            else:
+                assert cands[sector] is not None
+                assert cands[sector][0] == min(in_sector)[0]
+
+    def test_rnns_subset_of_candidates(self):
+        rng = random.Random(1)
+        objects = {
+            oid: Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for oid in range(50)
+        }
+        g = _grid_with(objects)
+        q = Point(444.0, 333.0)
+        candidate_ids = {c[1] for c in sae_candidates(g, q) if c is not None}
+        assert sae_rnn(g, q) <= candidate_ids
+
+
+class TestSAERNN:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(points, min_size=0, max_size=40, unique=True), points)
+    def test_matches_brute_force(self, pts, q):
+        objects = _distinct_from(q, pts)
+        g = _grid_with(objects)
+        assert sae_rnn(g, q) == set(brute_force_rnn(objects, q))
+
+    def test_exclusion(self):
+        objects = {1: Point(10.0, 10.0), 2: Point(20.0, 20.0)}
+        g = _grid_with(objects)
+        q = Point(12.0, 12.0)
+        with_all = sae_rnn(g, q)
+        without_1 = sae_rnn(g, q, exclude={1})
+        assert 1 not in without_1
+        assert without_1 == set(brute_force_rnn(objects, q, exclude={1}))
+        assert with_all == set(brute_force_rnn(objects, q))
+
+    def test_single_object_is_always_rnn(self):
+        g = _grid_with({5: Point(700.0, 200.0)})
+        assert sae_rnn(g, Point(100.0, 100.0)) == {5}
+
+    def test_empty_space(self):
+        g = _grid_with({})
+        assert sae_rnn(g, Point(1.0, 1.0)) == set()
+
+
+class TestFalsePositiveCheck:
+    def test_returns_disprover(self):
+        objects = {1: Point(100.0, 100.0), 2: Point(101.0, 100.0)}
+        g = _grid_with(objects)
+        d_q_1 = dist(Point(200.0, 100.0), objects[1])
+        found = is_false_positive(g, 1, d_q_1)
+        assert found is not None and found[1] == 2
+
+    def test_returns_none_for_true_rnn(self):
+        objects = {1: Point(100.0, 100.0), 2: Point(900.0, 900.0)}
+        g = _grid_with(objects)
+        assert is_false_positive(g, 1, dist(Point(120.0, 100.0), objects[1])) is None
+
+
+class TestTPL:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(points, min_size=0, max_size=50, unique=True), points)
+    def test_matches_brute_force(self, pts, q):
+        objects = dict(enumerate(pts))
+        tree = bulk_load(objects, max_entries=5)
+        assert tpl_rnn(tree, q) == set(brute_force_rnn(objects, q))
+
+    def test_exclusion(self):
+        objects = {1: Point(10.0, 10.0), 2: Point(12.0, 10.0), 3: Point(600.0, 600.0)}
+        tree = bulk_load(objects)
+        q = Point(11.0, 10.0)
+        assert tpl_rnn(tree, q, exclude={1}) == set(
+            brute_force_rnn(objects, q, exclude={1})
+        )
+
+    def test_agrees_with_sae(self):
+        rng = random.Random(9)
+        for _ in range(20):
+            objects = {
+                oid: Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                for oid in range(rng.randrange(1, 60))
+            }
+            q = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            tree = bulk_load(objects)
+            g = _grid_with(objects)
+            assert tpl_rnn(tree, q) == sae_rnn(g, q)
+
+    def test_dense_cluster_few_rnns(self):
+        """A classic RNN fact: a point has at most 6 monochromatic RNNs."""
+        rng = random.Random(10)
+        objects = {
+            oid: Point(rng.uniform(450, 550), rng.uniform(450, 550)) for oid in range(80)
+        }
+        tree = bulk_load(objects)
+        assert len(tpl_rnn(tree, Point(500.0, 500.0))) <= 6
+
+
+class TestTPLReverseKNN:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(points, min_size=0, max_size=40, unique=True),
+        points,
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_matches_brute_force(self, pts, q, k):
+        objects = dict(enumerate(pts))
+        tree = bulk_load(objects, max_entries=5)
+        assert tpl_rknn(tree, q, k) == set(brute_force_rknn(objects, q, k))
+
+    def test_k1_equals_rnn(self):
+        rng = random.Random(11)
+        objects = {
+            oid: Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for oid in range(40)
+        }
+        tree = bulk_load(objects)
+        q = Point(321.0, 654.0)
+        assert tpl_rknn(tree, q, 1) == tpl_rnn(tree, q)
+
+    def test_monotone_in_k(self):
+        """RkNN sets grow with k (weaker membership condition)."""
+        rng = random.Random(12)
+        objects = {
+            oid: Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for oid in range(40)
+        }
+        tree = bulk_load(objects)
+        q = Point(500.0, 500.0)
+        previous: set[int] = set()
+        for k in range(1, 6):
+            current = tpl_rknn(tree, q, k)
+            assert previous <= current
+            previous = current
+
+    def test_k_at_least_n_returns_everything(self):
+        objects = {1: Point(1.0, 1.0), 2: Point(2.0, 2.0), 3: Point(900.0, 900.0)}
+        tree = bulk_load(objects)
+        assert tpl_rknn(tree, Point(555.0, 555.0), k=3) == {1, 2, 3}
+
+    def test_invalid_k(self):
+        tree = bulk_load({1: Point(1.0, 1.0)})
+        with pytest.raises(ValueError):
+            tpl_rknn(tree, Point(0.0, 0.0), 0)
+
+
+class TestBruteForceRkNNOracle:
+    def test_definition(self):
+        positions = {
+            1: Point(0.0, 0.0),
+            2: Point(10.0, 0.0),
+            3: Point(20.0, 0.0),
+        }
+        q = Point(35.0, 0.0)
+        # o3: 2 objects nearer than q (o2 at 10 < 15, o1 at 20 > 15 -> just o2)
+        assert brute_force_rknn(positions, q, 1) == frozenset()
+        assert 3 in brute_force_rknn(positions, q, 2)
+        assert brute_force_rknn(positions, q, 3) == frozenset({1, 2, 3})

@@ -1,0 +1,165 @@
+"""Tests for the base R-tree: insertion, deletion, splits, queries."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+from repro.rtree.node import LeafEntry
+from repro.rtree.rtree import RTree
+
+coords = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+def _tree_with(positions: dict[int, Point], max_entries: int = 6) -> RTree:
+    tree = RTree(max_entries=max_entries)
+    for oid, pos in positions.items():
+        tree.insert(LeafEntry(oid, pos))
+    return tree
+
+
+class TestConstruction:
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.search_range(Rect(0, 0, 1000, 1000)) == []
+        assert tree.nn_search(Point(1, 1)) == []
+        tree.validate()
+
+
+class TestInsertion:
+    def test_grows_and_splits(self):
+        rng = random.Random(1)
+        tree = RTree(max_entries=4)
+        for oid in range(200):
+            tree.insert(LeafEntry(oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000))))
+            if oid % 25 == 0:
+                tree.validate()
+        tree.validate()
+        assert len(tree) == 200
+        assert not tree.root.is_leaf
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=120))
+    def test_all_entries_findable(self, pts):
+        tree = _tree_with(dict(enumerate(pts)))
+        tree.validate()
+        ids = {e.oid for e in tree.entries()}
+        assert ids == set(range(len(pts)))
+
+    def test_duplicate_positions_allowed(self):
+        tree = _tree_with({i: Point(5.0, 5.0) for i in range(30)}, max_entries=4)
+        tree.validate()
+        assert len(tree) == 30
+
+
+class TestDeletion:
+    def test_delete_roundtrip(self):
+        rng = random.Random(2)
+        positions = {
+            oid: Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for oid in range(100)
+        }
+        tree = _tree_with(positions, max_entries=5)
+        order = list(positions)
+        rng.shuffle(order)
+        for i, oid in enumerate(order):
+            tree.delete(oid, positions[oid])
+            if i % 10 == 0:
+                tree.validate()
+        assert len(tree) == 0
+
+    def test_delete_missing_raises(self):
+        tree = _tree_with({1: Point(1.0, 1.0)})
+        with pytest.raises(KeyError):
+            tree.delete(2, Point(1.0, 1.0))
+        with pytest.raises(KeyError):
+            tree.delete(1, Point(500.0, 500.0))  # wrong position
+
+    def test_interleaved_insert_delete(self):
+        rng = random.Random(3)
+        tree = RTree(max_entries=4)
+        live: dict[int, Point] = {}
+        next_id = 0
+        for step in range(400):
+            if live and rng.random() < 0.45:
+                oid = rng.choice(list(live))
+                tree.delete(oid, live.pop(oid))
+            else:
+                p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                tree.insert(LeafEntry(next_id, p))
+                live[next_id] = p
+                next_id += 1
+            if step % 40 == 0:
+                tree.validate()
+        tree.validate()
+        assert {e.oid for e in tree.entries()} == set(live)
+
+
+class TestRangeSearch:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(points, min_size=0, max_size=80), st.tuples(points, points))
+    def test_matches_brute_force(self, pts, corners):
+        a, b = corners
+        rect = Rect(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))
+        positions = dict(enumerate(pts))
+        tree = _tree_with(positions)
+        got = {e.oid for e in tree.search_range(rect)}
+        want = {oid for oid, p in positions.items() if rect.contains_point(p)}
+        assert got == want
+
+
+class TestNNSearch:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=80, unique=True), points, st.integers(1, 4))
+    def test_knn_matches_brute_force(self, pts, q, k):
+        positions = dict(enumerate(pts))
+        tree = _tree_with(positions)
+        got = tree.nn_search(q, k=k)
+        want = sorted(dist(q, p) for p in pts)[:k]
+        assert [d for d, _ in got] == want
+
+    def test_exclude_and_bound(self):
+        tree = _tree_with({1: Point(10.0, 10.0), 2: Point(900.0, 900.0)})
+        got = tree.nn_search(Point(11.0, 10.0), exclude={1})
+        assert got[0][1].oid == 2
+        assert tree.nn_search(Point(11.0, 10.0), exclude={1}, max_dist=5.0) == []
+
+
+class TestContainmentSearch:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.tuples(points, st.floats(min_value=0, max_value=300)), min_size=0, max_size=60),
+        points,
+    )
+    def test_matches_brute_force(self, items, probe):
+        tree = RTree(max_entries=5)
+        for oid, (pos, radius) in enumerate(items):
+            tree.insert(LeafEntry(oid, pos, radius=radius))
+        got = {e.oid for e in tree.containment_search(probe)}
+        want = {
+            oid
+            for oid, (pos, radius) in enumerate(items)
+            if dist(probe, pos) < radius
+        }
+        assert got == want
+
+    def test_radius_aggregation_validated(self):
+        rng = random.Random(4)
+        tree = RTree(max_entries=4)
+        for oid in range(60):
+            tree.insert(
+                LeafEntry(
+                    oid,
+                    Point(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+                    radius=rng.uniform(0, 100),
+                )
+            )
+        tree.validate()

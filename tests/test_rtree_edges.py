@@ -1,0 +1,118 @@
+"""Edge-case tests for the R-tree family (shrinking, duplicates, zeros)."""
+
+import random
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.furtree import FURTree
+from repro.rtree.node import LeafEntry
+from repro.rtree.rtree import RTree
+
+
+class TestHeightTransitions:
+    def test_grow_then_shrink_to_leaf_root(self):
+        rng = random.Random(1)
+        tree = RTree(max_entries=4)
+        positions = {}
+        for oid in range(40):
+            positions[oid] = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            tree.insert(LeafEntry(oid, positions[oid]))
+        assert not tree.root.is_leaf
+        for oid in list(positions):
+            tree.delete(oid, positions[oid])
+            tree.validate()
+        assert len(tree) == 0
+        assert tree.root.is_leaf
+
+    def test_repeated_grow_shrink_cycles(self):
+        rng = random.Random(2)
+        tree = FURTree(max_entries=4)
+        for cycle in range(4):
+            positions = {
+                oid: Point(rng.uniform(0, 100), rng.uniform(0, 100))
+                for oid in range(30)
+            }
+            for oid, p in positions.items():
+                tree.insert(LeafEntry(oid, p))
+            tree.validate()
+            for oid in positions:
+                tree.delete_by_id(oid)
+            assert len(tree) == 0
+            tree.validate()
+
+
+class TestDegenerateGeometry:
+    def test_all_points_identical(self):
+        tree = RTree(max_entries=4)
+        for oid in range(25):
+            tree.insert(LeafEntry(oid, Point(5.0, 5.0)))
+        tree.validate()
+        found = tree.nn_search(Point(5.0, 5.0), k=25)
+        assert len(found) == 25
+        assert all(d == 0.0 for d, _ in found)
+
+    def test_collinear_points(self):
+        tree = RTree(max_entries=4)
+        for oid in range(30):
+            tree.insert(LeafEntry(oid, Point(float(oid), 0.0)))
+        tree.validate()
+        hits = tree.search_range(Rect(10.0, -1.0, 20.0, 1.0))
+        assert {e.oid for e in hits} == set(range(10, 21))
+
+    def test_zero_radius_circles_contain_nothing(self):
+        tree = RTree(max_entries=4)
+        for oid in range(10):
+            tree.insert(LeafEntry(oid, Point(float(oid), 0.0), radius=0.0))
+        assert tree.containment_search(Point(3.0, 0.0)) == []
+        # closed containment does include the centre point itself
+        assert {e.oid for e in tree.containment_search(Point(3.0, 0.0), closed=True)} == {3}
+
+
+class TestFurTreeEdges:
+    def test_update_to_same_position(self):
+        tree = FURTree(max_entries=4)
+        tree.insert(LeafEntry(1, Point(10.0, 10.0), radius=5.0))
+        tree.update(1, Point(10.0, 10.0))
+        assert tree.get_entry(1).radius == 5.0
+        tree.validate()
+
+    def test_update_radius_of_singleton(self):
+        tree = FURTree(max_entries=4)
+        tree.insert(LeafEntry(1, Point(10.0, 10.0), radius=5.0))
+        tree.update_radius(1, 50.0)
+        assert tree.root.max_radius == 50.0
+        tree.update_radius(1, 1.0)
+        assert tree.root.max_radius == 1.0
+        tree.validate()
+
+    def test_radius_aggregate_with_equal_maxima(self):
+        """Shrinking one of two equal-max radii must keep the aggregate."""
+        tree = FURTree(max_entries=8)
+        tree.insert(LeafEntry(1, Point(1.0, 1.0), radius=10.0))
+        tree.insert(LeafEntry(2, Point(2.0, 2.0), radius=10.0))
+        tree.update_radius(1, 3.0)
+        assert tree.root.max_radius == 10.0
+        tree.validate()
+
+    def test_bulk_then_update_storm_mixed_radii(self):
+        rng = random.Random(3)
+        tree = FURTree(max_entries=6)
+        radii = {}
+        positions = {}
+        for oid in range(80):
+            positions[oid] = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            radii[oid] = rng.uniform(0, 50)
+            tree.insert(LeafEntry(oid, positions[oid], radius=radii[oid]))
+        for _ in range(300):
+            oid = rng.randrange(80)
+            if rng.random() < 0.5:
+                positions[oid] = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                tree.update(oid, positions[oid])
+            else:
+                radii[oid] = rng.uniform(0, 50)
+                tree.update_radius(oid, radii[oid])
+        tree.validate()
+        for oid in range(80):
+            entry = tree.get_entry(oid)
+            assert entry.pos == positions[oid]
+            assert entry.radius == radii[oid]

@@ -1,0 +1,101 @@
+"""Hypothesis state machine for the FUR-tree.
+
+Arbitrary interleavings of inserts, hash deletes, bottom-up updates and
+radius changes must preserve every structural invariant and keep the
+tree's answers equal to a shadow dictionary.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.geometry.point import Point, dist
+from repro.geometry.rect import Rect
+from repro.rtree.furtree import FURTree
+from repro.rtree.node import LeafEntry
+
+coords = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+points = st.builds(Point, coords, coords)
+radii = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+
+
+class FurTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = FURTree(max_entries=4)
+        self.shadow: dict[int, tuple[Point, float]] = {}
+        self.next_id = 0
+
+    @rule(p=points, r=radii)
+    def insert(self, p, r):
+        oid = self.next_id
+        self.next_id += 1
+        self.tree.insert(LeafEntry(oid, p, radius=r))
+        self.shadow[oid] = (p, r)
+
+    @rule(data=st.data())
+    def delete(self, data):
+        if not self.shadow:
+            return
+        oid = data.draw(st.sampled_from(sorted(self.shadow)))
+        self.tree.delete_by_id(oid)
+        del self.shadow[oid]
+
+    @rule(p=points, data=st.data())
+    def move(self, p, data):
+        if not self.shadow:
+            return
+        oid = data.draw(st.sampled_from(sorted(self.shadow)))
+        _, r = self.shadow[oid]
+        self.tree.update(oid, p)
+        self.shadow[oid] = (p, r)
+
+    @rule(r=radii, data=st.data())
+    def set_radius(self, r, data):
+        if not self.shadow:
+            return
+        oid = data.draw(st.sampled_from(sorted(self.shadow)))
+        p, _ = self.shadow[oid]
+        self.tree.update_radius(oid, r)
+        self.shadow[oid] = (p, r)
+
+    @rule(p=points, r=radii, data=st.data())
+    def move_with_radius(self, p, r, data):
+        if not self.shadow:
+            return
+        oid = data.draw(st.sampled_from(sorted(self.shadow)))
+        self.tree.update(oid, p, new_radius=r)
+        self.shadow[oid] = (p, r)
+
+    @invariant()
+    def structure_valid(self):
+        self.tree.validate()
+
+    @invariant()
+    def contents_match_shadow(self):
+        assert len(self.tree) == len(self.shadow)
+        for oid, (p, r) in self.shadow.items():
+            entry = self.tree.get_entry(oid)
+            assert entry.pos == p and entry.radius == r
+
+    @invariant()
+    def containment_matches_shadow(self):
+        probe = Point(500.0, 500.0)
+        got = {e.oid for e in self.tree.containment_search(probe)}
+        want = {oid for oid, (p, r) in self.shadow.items() if dist(probe, p) < r}
+        assert got == want
+
+    @invariant()
+    def nn_matches_shadow(self):
+        if not self.shadow:
+            return
+        probe = Point(250.0, 750.0)
+        got = self.tree.nn_search(probe, k=1)[0][0]
+        want = min(dist(probe, p) for p, _ in self.shadow.values())
+        assert got == want
+
+
+FurTreeMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestFurTreeMachine = FurTreeMachine.TestCase

@@ -1,0 +1,119 @@
+"""Unit tests for the Uniform variant's grid-cell circ-region store."""
+
+from repro.core.events import ResultChange
+from repro.core.query_table import QueryTable
+from repro.core.stats import StatCounters
+from repro.core.uniform import GridCircStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.grid.index import GridIndex
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class _Rig:
+    def __init__(self):
+        self.stats = StatCounters()
+        self.grid = GridIndex(BOUNDS, 8, self.stats)
+        self.qt = QueryTable()
+        self.events: list[ResultChange] = []
+        self.store = GridCircStore(self.grid, self.qt, self.stats, self.events.append)
+
+    def object(self, oid: int, x: float, y: float) -> Point:
+        p = Point(x, y)
+        self.grid.insert_object(oid, p)
+        return p
+
+
+class TestCellBookkeeping:
+    def test_registration_covers_the_circle(self):
+        rig = _Rig()
+        rig.qt.add(50, Point(500.0, 500.0))
+        pos = rig.object(1, 300.0, 300.0)
+        rig.store.set_circ(50, 3, 1, pos, 282.8, 2, 150.0)
+        registered = {
+            (c.cx, c.cy) for c in rig.grid.all_cells() if (50, 3) in c.circ_queries
+        }
+        expected = {
+            (c.cx, c.cy) for c in rig.grid.cells_intersecting_circle(pos, 150.0)
+        }
+        assert registered == expected
+        rig.store.validate()
+
+    def test_removal_clears_cells(self):
+        rig = _Rig()
+        rig.qt.add(50, Point(500.0, 500.0))
+        pos = rig.object(1, 300.0, 300.0)
+        rig.store.set_circ(50, 3, 1, pos, 282.8, None)
+        rig.store.remove_circ(50, 3)
+        assert all((50, 3) not in c.circ_queries for c in rig.grid.all_cells())
+        rig.store.validate()
+
+    def test_shrink_reregisters(self):
+        rig = _Rig()
+        rig.qt.add(50, Point(500.0, 500.0))
+        pos = rig.object(1, 300.0, 300.0)
+        rig.store.set_circ(50, 3, 1, pos, 282.8, None)
+        big = sum(1 for c in rig.grid.all_cells() if (50, 3) in c.circ_queries)
+        rig.store.set_circ(50, 3, 1, pos, 282.8, 2, 20.0)
+        small = sum(1 for c in rig.grid.all_cells() if (50, 3) in c.circ_queries)
+        assert small < big
+        rig.store.validate()
+
+
+class TestEagerMaintenance:
+    def test_entering_object_triggers_search_and_flip(self):
+        rig = _Rig()
+        rig.qt.add(50, Point(200.0, 100.0))
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, None)
+        rig.events.clear()
+        searches = rig.stats.nn_searches
+        rig.object(2, 120.0, 100.0)
+        rig.store.handle_update(2, None, Point(120.0, 100.0))
+        rec = rig.store.record(50, 0)
+        assert not rec.is_rnn and rec.nn == 2 and rec.radius == 20.0
+        assert rig.stats.nn_searches > searches  # eager: always searches
+        assert rig.events == [ResultChange(50, 1, gained=False)]
+        rig.store.validate()
+
+    def test_certificate_kept_tight(self):
+        """Uniform's nn is always the true NN (smallest region)."""
+        rig = _Rig()
+        rig.qt.add(50, Point(200.0, 100.0))
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.object(2, 150.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, 2, 50.0)
+        # o3 lands even closer: the region must shrink to it.
+        rig.object(3, 115.0, 100.0)
+        rig.store.handle_update(3, None, Point(115.0, 100.0))
+        rec = rig.store.record(50, 0)
+        assert rec.nn == 3 and rec.radius == 15.0
+        rig.store.validate()
+
+    def test_perimeter_certificate_leaving(self):
+        rig = _Rig()
+        rig.qt.add(50, Point(200.0, 100.0))
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.object(2, 140.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, 2, 40.0)
+        rig.events.clear()
+        old = rig.grid.positions[2]
+        new = Point(700.0, 700.0)
+        rig.grid.move_object(2, new)
+        rig.store.handle_update(2, old, new)
+        rec = rig.store.record(50, 0)
+        assert rec.is_rnn
+        assert rig.events == [ResultChange(50, 1, gained=True)]
+        rig.store.validate()
+
+    def test_unrelated_update_ignored(self):
+        rig = _Rig()
+        rig.qt.add(50, Point(200.0, 100.0))
+        p1 = rig.object(1, 100.0, 100.0)
+        rig.store.set_circ(50, 0, 1, p1, 100.0, None)
+        searches = rig.stats.nn_searches
+        rig.object(9, 900.0, 900.0)
+        rig.store.handle_update(9, None, Point(900.0, 900.0))
+        assert rig.stats.nn_searches == searches
+        assert rig.store.record(50, 0).is_rnn

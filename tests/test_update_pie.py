@@ -1,0 +1,146 @@
+"""Direct tests for the pie-region maintenance helpers."""
+
+import math
+
+from repro.core.update_pie import (
+    determine_certificate,
+    register_pie_cells,
+    research_sector,
+    set_candidate,
+)
+from repro.geometry.point import Point, dist
+from repro.geometry.sector import sector_of
+
+from .conftest import make_monitor
+
+
+def _setup(variant="lu+pi", grid_cells=10):
+    mon = make_monitor(variant, grid_cells=grid_cells)
+    return mon
+
+
+class TestRegistrationHysteresis:
+    def test_registration_covers_at_least_the_pie(self, variant):
+        mon = _setup(variant)
+        mon.add_object(1, Point(300.0, 300.0))
+        mon.add_query(50, Point(500.0, 500.0))
+        st = mon.qt.get(50)
+        for sector in range(6):
+            assert st.pie_reg_radius[sector] >= st.d_cand[sector] or (
+                math.isinf(st.pie_reg_radius[sector])
+                and math.isinf(st.d_cand[sector])
+            )
+
+    def test_whole_sector_registration_kept_for_border_flips(self):
+        """An empty sector's registration survives a transient candidate,
+        avoiding thousands of cell updates per flip."""
+        mon = _setup(grid_cells=16)
+        mon.add_query(50, Point(500.0, 500.0))
+        st = mon.qt.get(50)
+        # every sector empty: registered unbounded
+        assert all(math.isinf(r) for r in st.pie_reg_radius)
+        # an object appears far away in some sector: candidate exists,
+        # but the (large-pie) registration is kept as a superset
+        mon.add_object(1, Point(980.0, 520.0))
+        sector = sector_of(st.pos, Point(980.0, 520.0))
+        assert st.cand[sector] == 1
+        assert math.isinf(st.pie_reg_radius[sector])  # hysteresis kept it
+        # the object leaves again: no re-registration storm needed
+        before = set(st.pie_cells[sector])
+        mon.remove_object(1)
+        assert set(st.pie_cells[sector]) == before
+
+    def test_small_pie_shrinks_registration(self):
+        mon = _setup(grid_cells=16)
+        mon.add_query(50, Point(500.0, 500.0))
+        st = mon.qt.get(50)
+        mon.add_object(1, Point(520.0, 505.0))  # very close candidate
+        sector = sector_of(st.pos, Point(520.0, 505.0))
+        assert not math.isinf(st.pie_reg_radius[sector])
+        assert len(st.pie_cells[sector]) < 16  # tight registration
+
+    def test_growth_is_exact(self, variant):
+        mon = _setup(variant)
+        mon.add_object(1, Point(510.0, 505.0))
+        mon.add_object(2, Point(700.0, 560.0))
+        mon.add_query(50, Point(500.0, 500.0))
+        st = mon.qt.get(50)
+        sector = sector_of(st.pos, Point(510.0, 505.0))
+        # candidate leaves: the pie grows to the next object or to
+        # unbounded; registration must grow with it.
+        mon.remove_object(1)
+        assert st.pie_reg_radius[sector] >= st.d_cand[sector] or math.isinf(
+            st.d_cand[sector]
+        )
+        mon.validate()
+
+
+class TestDetermineCertificate:
+    def test_known_candidate_shortcut_avoids_search(self):
+        mon = _setup("lu+pi")
+        # two candidates of the same query in adjacent sectors (o1 in
+        # sector 0, o2 in sector 1 near the shared boundary ray), close
+        # enough that the sibling candidate disproves the new one.
+        mon.add_object(1, Point(600.0, 501.0))   # sector 0 of q
+        mon.add_object(2, Point(530.0, 552.0))   # sector 1 of q, near o1
+        mon.add_query(50, Point(500.0, 500.0))
+        st = mon.qt.get(50)
+        searches = mon.stats.nn_searches
+        sector = sector_of(st.pos, Point(600.0, 501.0))
+        nn, nn_dist = determine_certificate(
+            mon, st, sector, 1, Point(600.0, 501.0), dist(st.pos, Point(600.0, 501.0))
+        )
+        assert nn == 2
+        assert nn_dist == dist(Point(600.0, 501.0), Point(530.0, 552.0))
+        assert mon.stats.nn_searches == searches  # no search needed
+
+    def test_eager_mode_always_searches(self):
+        mon = _setup("uniform")
+        mon.add_object(1, Point(600.0, 501.0))
+        mon.add_object(2, Point(530.0, 552.0))
+        mon.add_query(50, Point(500.0, 500.0))
+        st = mon.qt.get(50)
+        searches = mon.stats.nn_searches
+        sector = sector_of(st.pos, Point(600.0, 501.0))
+        determine_certificate(
+            mon, st, sector, 1, Point(600.0, 501.0), dist(st.pos, Point(600.0, 501.0))
+        )
+        assert mon.stats.nn_searches == searches + 1
+
+    def test_rnn_when_no_disprover(self, variant):
+        mon = _setup(variant)
+        mon.add_object(1, Point(600.0, 501.0))
+        mon.add_query(50, Point(500.0, 500.0))
+        st = mon.qt.get(50)
+        sector = sector_of(st.pos, Point(600.0, 501.0))
+        nn, nn_dist = determine_certificate(
+            mon, st, sector, 1, Point(600.0, 501.0), dist(st.pos, Point(600.0, 501.0))
+        )
+        assert nn is None and math.isinf(nn_dist)
+
+
+class TestResearchSector:
+    def test_upper_bound_still_finds_the_bound_object(self, variant):
+        """A re-search bounded by a real in-sector object's distance must
+        return that object (or something nearer), never None."""
+        mon = _setup(variant)
+        mon.add_object(1, Point(700.0, 510.0))
+        mon.add_query(50, Point(500.0, 500.0))
+        st = mon.qt.get(50)
+        sector = sector_of(st.pos, Point(700.0, 510.0))
+        bound = dist(st.pos, Point(700.0, 510.0))
+        research_sector(mon, st, sector, upper_bound=bound)
+        assert st.cand[sector] == 1
+        mon.validate()
+
+    def test_empty_sector_clears(self, variant):
+        mon = _setup(variant)
+        mon.add_object(1, Point(700.0, 510.0))
+        mon.add_query(50, Point(500.0, 500.0))
+        st = mon.qt.get(50)
+        sector = sector_of(st.pos, Point(700.0, 510.0))
+        mon.grid.delete_object(1)  # bypass monitor: force a stale sector
+        research_sector(mon, st, sector)
+        assert st.cand[sector] is None
+        assert math.isinf(st.d_cand[sector])
+        assert mon.circ.record(50, sector) is None

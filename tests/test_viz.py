@@ -1,0 +1,66 @@
+"""Tests for the SVG monitoring-region renderer."""
+
+import xml.etree.ElementTree as ET
+
+from repro.geometry.point import Point
+from repro.viz import render_monitor, save_monitor_svg
+
+from .conftest import make_monitor
+
+
+def _render(variant="lu+pi", **kwargs) -> str:
+    mon = make_monitor(variant)
+    mon.add_object(1, Point(300.0, 300.0))
+    mon.add_object(2, Point(700.0, 650.0))
+    mon.add_query(50, Point(500.0, 500.0))
+    return render_monitor(mon, **kwargs)
+
+
+class TestRenderMonitor:
+    def test_produces_well_formed_svg(self, variant):
+        svg = _render(variant)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_objects_queries_and_regions(self):
+        svg = _render()
+        assert svg.count("<circle") >= 3  # 2 objects + 1 query (+ circles)
+        assert "<path" in svg  # pie wedges
+        assert "o1" in svg and "q50" in svg
+
+    def test_result_objects_highlighted(self):
+        mon = make_monitor("lu+pi")
+        mon.add_object(1, Point(300.0, 300.0))
+        mon.add_query(50, Point(500.0, 500.0))
+        svg = render_monitor(mon)
+        from repro.viz import STYLE
+
+        assert STYLE["object_result"] in svg  # o1 is an RNN
+
+    def test_grid_option(self):
+        with_grid = _render(draw_grid=True)
+        without = _render(draw_grid=False)
+        assert with_grid.count("<line") > without.count("<line")
+
+    def test_query_filter(self):
+        mon = make_monitor("lu+pi")
+        mon.add_object(1, Point(300.0, 300.0))
+        mon.add_query(50, Point(500.0, 500.0))
+        mon.add_query(51, Point(100.0, 900.0))
+        svg = render_monitor(mon, query_ids=[50])
+        assert "q50" in svg and "q51" not in svg
+
+    def test_save(self, tmp_path, variant):
+        mon = make_monitor(variant)
+        mon.add_object(1, Point(250.0, 250.0))
+        mon.add_query(50, Point(400.0, 400.0))
+        path = tmp_path / "state.svg"
+        save_monitor_svg(mon, str(path), size=320)
+        content = path.read_text()
+        assert content.startswith("<svg")
+        ET.fromstring(content)
+
+    def test_empty_monitor_renders(self, variant):
+        mon = make_monitor(variant)
+        svg = render_monitor(mon)
+        ET.fromstring(svg)
