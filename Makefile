@@ -2,13 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick examples clean
+.PHONY: install test check smoke bench experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# What CI runs: the tier-1 suite plus the fault-injection smoke job.
+check:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) -m repro.robustness.smoke --quick
+
+smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.robustness.smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -14,7 +14,9 @@ Public entry points:
   baseline (FUR-tree + TPL);
 * :mod:`repro.mobility` — network-based moving object/query workloads;
 * :mod:`repro.bench` — the experiment harness reproducing the paper's
-  figures.
+  figures;
+* :mod:`repro.robustness` — the resilience layer: ingestion guards,
+  fault injection, invariant auditing, checkpoint/recovery.
 """
 
 from repro.core.baseline import TPLFURBaseline
@@ -30,6 +32,10 @@ from repro.monitors.bichromatic import BichromaticRnnMonitor
 from repro.monitors.knn_monitor import KnnMonitor
 from repro.monitors.range_monitor import RangeMonitor
 from repro.monitors.rknn_monitor import RknnMonitor
+from repro.robustness.audit import AuditPolicy, AuditReport, InvariantAuditor
+from repro.robustness.checkpoint import CheckpointError
+from repro.robustness.faults import FaultInjector, FaultSpec
+from repro.robustness.guard import IngestionError, IngestionGuard
 
 __version__ = "1.0.0"
 
@@ -53,5 +59,13 @@ __all__ = [
     "UNIFORM",
     "LU_ONLY",
     "LU_PI",
+    "AuditPolicy",
+    "AuditReport",
+    "InvariantAuditor",
+    "CheckpointError",
+    "FaultInjector",
+    "FaultSpec",
+    "IngestionError",
+    "IngestionGuard",
     "__version__",
 ]

@@ -17,6 +17,14 @@ LU_PI = "lu+pi"
 
 _VALID_VARIANTS = (UNIFORM, LU_ONLY, LU_PI)
 
+#: Ingestion-guard policies (repro.robustness.guard): what the monitor
+#: does with a malformed update at the public API boundary.
+GUARD_STRICT = "strict"  # raise IngestionError (before any mutation)
+GUARD_CLAMP = "clamp"  # clamp out-of-bounds coordinates into the data space
+GUARD_DROP = "drop"  # silently discard the offending update (counted)
+
+GUARD_POLICIES = (GUARD_STRICT, GUARD_CLAMP, GUARD_DROP)
+
 
 @dataclass(frozen=True)
 class MonitorConfig:
@@ -38,6 +46,13 @@ class MonitorConfig:
     fur_fanout: int = 20
     variant: str = LU_PI
     partial_insert_threshold: float = 0.8
+    #: How the ingestion guard treats malformed updates (non-finite or
+    #: out-of-bounds coordinates, id conflicts, deletes of unknown ids):
+    #: ``"strict"`` raises before any state mutates, ``"clamp"`` pulls
+    #: out-of-bounds coordinates to the data-space border and drops what
+    #: cannot be repaired, ``"drop"`` discards offending updates.  Every
+    #: violation is counted in :class:`~repro.core.stats.StatCounters`.
+    guard_policy: str = GUARD_STRICT
 
     def __post_init__(self) -> None:
         if self.variant not in _VALID_VARIANTS:
@@ -46,6 +61,10 @@ class MonitorConfig:
             raise ValueError("partial_insert_threshold must be in (0, 1)")
         if self.grid_cells < 1:
             raise ValueError("grid_cells must be >= 1")
+        if self.guard_policy not in GUARD_POLICIES:
+            raise ValueError(
+                f"guard_policy must be one of {GUARD_POLICIES}, got {self.guard_policy!r}"
+            )
 
     @property
     def eager_nn(self) -> bool:

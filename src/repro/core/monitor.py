@@ -36,6 +36,7 @@ from repro.core.update_pie import (
     register_pie_cells,
     resolve_pies_batch,
 )
+from repro.robustness.guard import IngestionGuard
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.geometry.sector import NUM_SECTORS
@@ -62,6 +63,15 @@ class CRNNMonitor:
         self._rnn_counts: dict[int, dict[int, int]] = {}
         self._events: list[ResultChange] = []
         self._log_events = True
+        #: Validates every update at the API boundary (coordinates, id
+        #: conflicts, unknown deletes) under ``config.guard_policy``.
+        self.guard = IngestionGuard(
+            self.config.bounds,
+            policy=self.config.guard_policy,
+            stats=self.stats,
+            has_object=self.grid.__contains__,
+            has_query=self.qt.__contains__,
+        )
         self.circ: CircStoreBase
         if self.config.uses_fur_store:
             self.circ = FurCircStore(
@@ -113,27 +123,53 @@ class CRNNMonitor:
     # Object maintenance
     # ------------------------------------------------------------------
     def add_object(self, oid: int, pos: Point) -> None:
-        """Register a new object (it may immediately become an RNN)."""
+        """Register a new object (it may immediately become an RNN).
+
+        Inserting an id that is already monitored is an id conflict: the
+        ``strict`` guard raises, the operational policies downgrade it
+        to a location update (idempotent ingestion).
+        """
+        if not self.guard.check_new_id("object", oid in self.grid, oid):
+            self.update_object(oid, pos)
+            return
+        checked = self.guard.check_point(pos, f"object {oid} insert")
+        if checked is None:
+            return
+        self._insert_object(oid, checked)
+
+    def _insert_object(self, oid: int, pos: Point) -> None:
         self.grid.insert_object(oid, pos)
         handle_update_pies(self, oid, None, pos)
         self.circ.handle_update(oid, None, pos)
 
     def update_object(self, oid: int, new_pos: Point) -> None:
         """Process a location report; unknown ids are inserted."""
+        checked = self.guard.check_point(new_pos, f"object {oid} update")
+        if checked is None:
+            return
         if oid not in self.grid:
-            self.add_object(oid, new_pos)
+            self._insert_object(oid, checked)
             return
-        old_pos, _, _ = self.grid.move_object(oid, new_pos)
-        if old_pos == new_pos:
+        old_pos, _, _ = self.grid.move_object(oid, checked)
+        if old_pos == checked:
             return
-        handle_update_pies(self, oid, old_pos, new_pos)
-        self.circ.handle_update(oid, old_pos, new_pos)
+        handle_update_pies(self, oid, old_pos, checked)
+        self.circ.handle_update(oid, old_pos, checked)
 
-    def remove_object(self, oid: int) -> None:
-        """Remove an object from monitoring entirely."""
+    def remove_object(self, oid: int) -> bool:
+        """Remove an object from monitoring entirely.
+
+        A delete of an unknown id is counted and — except under the
+        ``strict`` guard, which raises before anything mutates — is a
+        no-op (deletes are idempotent); returns whether anything was
+        removed.
+        """
+        if not self.guard.check_delete("object", oid in self.grid, oid):
+            return False
         old_pos, _ = self.grid.delete_object(oid)
         handle_update_pies(self, oid, old_pos, None)
         self.circ.handle_update(oid, old_pos, None)
+        return True
 
     # ------------------------------------------------------------------
     # Query maintenance
@@ -144,6 +180,13 @@ class CRNNMonitor:
         ``exclude`` lists object ids this query ignores (commonly the
         query owner's own object when entities are both).
         """
+        if not self.guard.check_new_id("query", qid in self.qt, qid):
+            self.update_query(qid, pos)
+            return self.rnn(qid)
+        checked = self.guard.check_point(pos, f"query {qid} insert")
+        if checked is None:
+            return frozenset()
+        pos = checked
         st = self.qt.add(qid, pos, frozenset(exclude))
         self._results.setdefault(qid, set())
         init = init_crnn(self.grid, pos, st.exclude, eager=self.config.eager_nn)
@@ -164,8 +207,14 @@ class CRNNMonitor:
                 )
         return self.rnn(qid)
 
-    def remove_query(self, qid: int) -> None:
-        """Deregister a query and all of its monitoring state."""
+    def remove_query(self, qid: int) -> bool:
+        """Deregister a query and all of its monitoring state.
+
+        Unknown-query deletes follow the same guard semantics as
+        :meth:`remove_object`; returns whether anything was removed.
+        """
+        if not self.guard.check_delete("query", qid in self.qt, qid):
+            return False
         st = self.qt.remove(qid)
         for sector in range(NUM_SECTORS):
             for cell in st.pie_cells[sector]:
@@ -173,6 +222,7 @@ class CRNNMonitor:
             self.circ.remove_circ(qid, sector)
         self._results.pop(qid, None)
         self._rnn_counts.pop(qid, None)
+        return True
 
     def update_query(self, qid: int, new_pos: Point) -> None:
         """Move a query point.
@@ -182,6 +232,9 @@ class CRNNMonitor:
         patched incrementally; the emitted events are the *net* result
         difference.
         """
+        checked = self.guard.check_point(new_pos, f"query {qid} update")
+        if checked is None:
+            return
         self.stats.query_recomputations += 1
         st = self.qt.get(qid)
         exclude = st.exclude
@@ -189,7 +242,7 @@ class CRNNMonitor:
         self._log_events = False
         try:
             self.remove_query(qid)
-            self.add_query(qid, new_pos, exclude)
+            self.add_query(qid, checked, exclude)
         finally:
             self._log_events = True
         after = frozenset(self._results.get(qid, ()))
@@ -209,11 +262,22 @@ class CRNNMonitor:
         every affected pie-region is modified at most once, then the
         circ-region store processes the moves; query updates follow.
         The return value is the combined result delta of the batch.
+
+        The whole batch is pre-validated by the ingestion guard before
+        anything is applied, so batches are atomic with respect to
+        rejection: under the ``strict`` policy a malformed update raises
+        :class:`~repro.robustness.guard.IngestionError` *before* the
+        first grid mutation, and under ``clamp``/``drop`` the offending
+        updates are repaired or skipped (counted) while the rest of the
+        batch proceeds.  The sanitized batch that was actually applied
+        is available as ``self.guard.last_effective`` — feed it to an
+        oracle to keep it in lockstep with a faulty stream.
         """
+        sanitized = self.guard.sanitize_batch(updates)
         mark = len(self._events)
         moves: list[tuple[int, Optional[Point], Optional[Point]]] = []
         query_updates: list[QueryUpdate] = []
-        for update in updates:
+        for update in sanitized:
             if isinstance(update, ObjectUpdate):
                 if update.pos is None:
                     old_pos, _ = self.grid.delete_object(update.oid)
@@ -290,7 +354,7 @@ class CRNNMonitor:
                     bounded_pies += 1
                     pie_radius_sum += st.d_cand[sector]
             results += len(self._results.get(st.qid, ()))
-        return {
+        out = {
             "objects": float(len(self.grid)),
             "queries": float(len(self.qt)),
             "results": float(results),
@@ -301,6 +365,13 @@ class CRNNMonitor:
             ),
             "circ_records": float(len(self.circ)),
         }
+        out.update(
+            (name, float(value))
+            for name, value in self.guard.violation_counts().items()
+        )
+        out["audit_divergences"] = float(self.stats.audit_divergences)
+        out["audit_escalations"] = float(self.stats.audit_escalations)
+        return out
 
     def rebuild(self) -> None:
         """Recompute every query from scratch (state repair).
@@ -313,6 +384,31 @@ class CRNNMonitor:
         """
         for qid in sorted(self.qt.ids()):
             self.update_query(qid, self.qt.get(qid).pos)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / recovery
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serialize the monitor to a JSON-safe snapshot dict.
+
+        See :mod:`repro.robustness.checkpoint` for the format; restore
+        with :meth:`from_checkpoint`.
+        """
+        from repro.robustness.checkpoint import snapshot
+
+        return snapshot(self)
+
+    @classmethod
+    def from_checkpoint(cls, snap: dict, verify: bool = True) -> "CRNNMonitor":
+        """Rebuild a monitor from a :meth:`checkpoint` snapshot.
+
+        With ``verify`` (default) the recomputed results must match the
+        recorded ones and ``validate()`` must pass, else
+        :class:`~repro.robustness.checkpoint.CheckpointError` is raised.
+        """
+        from repro.robustness.checkpoint import restore
+
+        return restore(snap, verify=verify)
 
     # ------------------------------------------------------------------
     # Validation (tests)

@@ -67,7 +67,9 @@ class BruteForceMonitor:
         self.positions[oid] = new_pos
 
     def remove_object(self, oid: int) -> None:
-        del self.positions[oid]
+        # Idempotent, like the guarded monitor: deleting an unknown id
+        # is a no-op (the desired end state already holds).
+        self.positions.pop(oid, None)
 
     # -- queries --------------------------------------------------------
     def add_query(self, qid: int, pos: Point, exclude: Iterable[int] = ()) -> frozenset[int]:
@@ -99,7 +101,7 @@ class BruteForceMonitor:
                     self.positions[update.oid] = update.pos
             elif isinstance(update, QueryUpdate):
                 if update.pos is None:
-                    self.remove_query(update.qid)
+                    self.queries.pop(update.qid, None)
                 elif update.qid in self.queries:
                     self.update_query(update.qid, update.pos)
                 else:

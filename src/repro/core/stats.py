@@ -32,6 +32,24 @@ class StatCounters:
     partial_insert_hash_hits: int = 0
     query_recomputations: int = 0
     result_changes: int = 0
+    # Ingestion-guard counters (repro.robustness.guard): malformed
+    # updates seen at the API boundary, by violation kind and by the
+    # action the configured policy took.
+    guard_nonfinite: int = 0
+    guard_out_of_bounds: int = 0
+    guard_id_conflicts: int = 0
+    guard_unknown_deletes: int = 0
+    guard_dropped: int = 0
+    guard_clamped: int = 0
+    # Invariant-auditor counters (repro.robustness.audit).
+    audit_runs: int = 0
+    audit_queries_checked: int = 0
+    audit_divergences: int = 0
+    audit_repairs: int = 0
+    audit_escalations: int = 0
+    # Checkpoint/recovery counters (repro.robustness.checkpoint).
+    checkpoints_saved: int = 0
+    checkpoints_restored: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -23,9 +23,22 @@ SECTOR_ANGLE = math.pi / 3.0
 # i from below and sector i-1 from above); index 6 is *exactly* index 0
 # so sector 5's upper boundary coincides bit-for-bit with sector 0's
 # lower one — no sliver of directions can fall between them.
-_BOUNDARY_DIRS: Sequence[tuple[float, float]] = tuple(
-    (math.cos(i * SECTOR_ANGLE), math.sin(i * SECTOR_ANGLE)) for i in range(NUM_SECTORS)
-) + ((1.0, 0.0),)
+#
+# Built from exact constants rather than cos/sin: sin(pi) evaluates to
+# 1.22e-16, which tilts the 180-degree ray enough to exclude points
+# lying exactly on the horizontal through the apex from the closed
+# wedge.  With the explicit table the axis-aligned rays are exact and
+# every mirrored pair of rays is a bit-for-bit negation.
+_SIN60 = math.sqrt(3.0) / 2.0
+_BOUNDARY_DIRS: Sequence[tuple[float, float]] = (
+    (1.0, 0.0),
+    (0.5, _SIN60),
+    (-0.5, _SIN60),
+    (-1.0, 0.0),
+    (-0.5, -_SIN60),
+    (0.5, -_SIN60),
+    (1.0, 0.0),
+)
 
 
 def sector_of(q: Point, p: Point) -> int:

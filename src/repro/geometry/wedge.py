@@ -64,9 +64,19 @@ def _line_intersection(
 
     ``sa``/``sb`` are the signed side values of the endpoints; they are
     guaranteed to have opposite (non-zero on at least one side) signs.
+
+    The true crossing lies on the segment, but ``a + t*(b - a)`` can
+    land outside it under catastrophic cancellation (e.g. ``t`` rounding
+    to 1.0 with ``b - a`` rounding away ``b``'s tiny coordinate), which
+    would fabricate vertices the input polygon never contained.  Clamp
+    each coordinate into the segment's bounding interval.
     """
     t = sa / (sa - sb)
-    return (a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))
+    x = a[0] + t * (b[0] - a[0])
+    y = a[1] + t * (b[1] - a[1])
+    x_lo, x_hi = (a[0], b[0]) if a[0] <= b[0] else (b[0], a[0])
+    y_lo, y_hi = (a[1], b[1]) if a[1] <= b[1] else (b[1], a[1])
+    return (min(max(x, x_lo), x_hi), min(max(y, y_lo), y_hi))
 
 
 def clip_rect_to_sector(rect: Rect, q: Point, sector: int) -> _Polygon:

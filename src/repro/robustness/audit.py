@@ -1,0 +1,179 @@
+"""Budgeted invariant auditing with scoped repair and escalation.
+
+A monitor that runs for months cannot afford either blind trust (one
+missed bookkeeping step corrupts results forever) or full verification
+every timestamp (``validate()`` plus an oracle sweep is O(n²)).  The
+:class:`InvariantAuditor` sits between the two: every ``interval``
+timestamps it cross-checks a small random sample of queries against the
+brute-force RNN definition evaluated over the live grid, and
+periodically runs the full structural ``validate()``.
+
+On divergence it degrades gracefully instead of failing hard:
+
+1. **scoped repair** — recompute only the divergent query
+   (``update_query`` at its own position), the per-query analogue of
+   ``rebuild()``;
+2. **escalation** — when a scoped repair does not converge, a
+   structural check fails, or ``escalate_after`` consecutive audits find
+   divergences, fall back to a full ``rebuild()``.
+
+Every audit, divergence, repair, and escalation is counted in the
+monitor's :class:`~repro.core.stats.StatCounters`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.oracle import brute_force_rnn
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.monitor import CRNNMonitor
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of one audit pass."""
+
+    timestamp: int  #: how many timestamps the auditor had observed
+    checked: tuple[int, ...]  #: qids cross-checked against the oracle
+    divergent: tuple[int, ...]  #: qids whose results disagreed
+    repaired: tuple[int, ...]  #: divergent qids fixed by scoped repair
+    escalated: bool  #: whether a full rebuild() was triggered
+    structural_error: Optional[str] = None  #: validate() failure, if any
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing diverged and no structural check failed."""
+        return not self.divergent and self.structural_error is None
+
+
+@dataclass
+class AuditPolicy:
+    """Cadence and budget knobs of an :class:`InvariantAuditor`.
+
+    The per-audit budget is ``sample_queries`` oracle evaluations (each
+    O(n·m) over the candidate neighbourhood); ``deep_every`` controls
+    how often the much costlier full structural ``validate()`` runs
+    (every ``deep_every``-th audit; 0 disables it).
+    """
+
+    interval: int = 10
+    sample_queries: int = 4
+    deep_every: int = 4
+    escalate_after: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError("interval must be >= 1")
+        if self.sample_queries < 1:
+            raise ValueError("sample_queries must be >= 1")
+        if self.escalate_after < 1:
+            raise ValueError("escalate_after must be >= 1")
+
+
+class InvariantAuditor:
+    """Periodically cross-checks a monitor and repairs divergences."""
+
+    def __init__(self, monitor: "CRNNMonitor", policy: Optional[AuditPolicy] = None):
+        self.monitor = monitor
+        self.policy = policy if policy is not None else AuditPolicy()
+        self.rng = random.Random(self.policy.seed)
+        self.reports: list[AuditReport] = []
+        self._timestamps = 0
+        self._audits = 0
+        self._consecutive_dirty = 0
+
+    # ------------------------------------------------------------------
+    def after_batch(self) -> Optional[AuditReport]:
+        """Notify the auditor that one timestamp was processed.
+
+        Runs an audit every ``interval``-th call and returns its report;
+        returns ``None`` on the off-cadence timestamps.
+        """
+        self._timestamps += 1
+        if self._timestamps % self.policy.interval:
+            return None
+        return self.audit()
+
+    def audit(self, deep: Optional[bool] = None) -> AuditReport:
+        """One audit pass: sample, cross-check, repair, maybe escalate.
+
+        ``deep`` forces (or suppresses) the structural ``validate()``;
+        by default it runs every ``deep_every``-th audit.
+        """
+        monitor = self.monitor
+        stats = monitor.stats
+        stats.audit_runs += 1
+        self._audits += 1
+        if deep is None:
+            deep = bool(self.policy.deep_every) and (
+                self._audits % self.policy.deep_every == 0
+            )
+
+        qids = sorted(monitor.qt.ids())
+        if len(qids) > self.policy.sample_queries:
+            qids = sorted(self.rng.sample(qids, self.policy.sample_queries))
+        divergent: list[int] = []
+        repaired: list[int] = []
+        for qid in qids:
+            stats.audit_queries_checked += 1
+            st = monitor.qt.get(qid)
+            want = brute_force_rnn(monitor.grid.positions, st.pos, st.exclude)
+            if monitor.rnn(qid) == want:
+                continue
+            stats.audit_divergences += 1
+            divergent.append(qid)
+            # Scoped repair: recompute just this query at its current
+            # position instead of rebuilding the whole monitor.
+            stats.audit_repairs += 1
+            monitor.update_query(qid, st.pos)
+            if monitor.rnn(qid) == want:
+                repaired.append(qid)
+
+        structural_error: Optional[str] = None
+        if deep:
+            try:
+                monitor.validate()
+            except AssertionError as exc:
+                structural_error = str(exc) or "validate() failed"
+
+        self._consecutive_dirty = (
+            self._consecutive_dirty + 1 if (divergent or structural_error) else 0
+        )
+        escalate = (
+            bool(set(divergent) - set(repaired))
+            or structural_error is not None
+            or self._consecutive_dirty >= self.policy.escalate_after
+        )
+        if escalate:
+            stats.audit_escalations += 1
+            monitor.rebuild()
+            self._consecutive_dirty = 0
+
+        report = AuditReport(
+            timestamp=self._timestamps,
+            checked=tuple(qids),
+            divergent=tuple(divergent),
+            repaired=tuple(repaired),
+            escalated=escalate,
+            structural_error=structural_error,
+        )
+        self.reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        """Totals over every audit this auditor ran."""
+        return {
+            "audits": len(self.reports),
+            "divergences": sum(len(r.divergent) for r in self.reports),
+            "repairs": sum(len(r.repaired) for r in self.reports),
+            "escalations": sum(1 for r in self.reports if r.escalated),
+            "structural_errors": sum(
+                1 for r in self.reports if r.structural_error is not None
+            ),
+        }

@@ -1,0 +1,139 @@
+"""Checkpoint/recovery: serialize a monitor, restore it provably intact.
+
+The monitor is a main-memory system; a process restart loses everything.
+The checkpoint format captures the *ground truth* the monitor serves —
+object positions, query registrations (with their exclude sets), the
+configuration, and the result sets at capture time — as a plain
+JSON-serializable dict.  Recovery builds a fresh monitor and replays the
+snapshot through the normal ``add_object``/``add_query`` path, so every
+derived structure (grid cells, pie registrations, circ-records, NN-Hash)
+is reconstructed by the same audited code that built the original, and
+the restored results are *recomputed*, then verified against the
+recorded ones: a corrupt or stale snapshot fails loudly at restore time
+instead of silently serving wrong answers.
+
+Derived state (FUR-tree shape, per-sector certificates) is deliberately
+not serialized — it is reproducible, and re-deriving it is the proof
+that the snapshot is consistent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.core.config import MonitorConfig
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.monitor import CRNNMonitor
+
+#: Format marker and version of the snapshot dict.
+FORMAT = "crnn-checkpoint"
+VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A snapshot is malformed or fails post-restore verification."""
+
+
+def snapshot(monitor: "CRNNMonitor") -> dict[str, Any]:
+    """Serialize ``monitor`` to a JSON-safe dict (the checkpoint)."""
+    cfg = monitor.config
+    snap: dict[str, Any] = {
+        "format": FORMAT,
+        "version": VERSION,
+        "config": {
+            "variant": cfg.variant,
+            "grid_cells": cfg.grid_cells,
+            "fur_fanout": cfg.fur_fanout,
+            "partial_insert_threshold": cfg.partial_insert_threshold,
+            "guard_policy": cfg.guard_policy,
+            "bounds": [cfg.bounds.xmin, cfg.bounds.ymin, cfg.bounds.xmax, cfg.bounds.ymax],
+        },
+        "objects": [
+            [oid, pos[0], pos[1]]
+            for oid, pos in sorted(monitor.grid.positions.items())
+        ],
+        "queries": [
+            [st.qid, st.pos[0], st.pos[1], sorted(st.exclude)]
+            for st in sorted(monitor.qt, key=lambda s: s.qid)
+        ],
+        "results": [
+            [qid, sorted(oids)] for qid, oids in sorted(monitor.results().items())
+        ],
+        "stats": monitor.stats.snapshot(),
+    }
+    monitor.stats.checkpoints_saved += 1
+    return snap
+
+
+def restore(snap: dict[str, Any], verify: bool = True) -> "CRNNMonitor":
+    """Build a fresh monitor from a checkpoint dict.
+
+    With ``verify`` (the default) the recomputed post-restore results
+    must exactly match the recorded ones and the cross-structure
+    ``validate()`` must pass; any mismatch raises
+    :class:`CheckpointError`.
+    """
+    from repro.core.monitor import CRNNMonitor
+
+    if not isinstance(snap, dict) or snap.get("format") != FORMAT:
+        raise CheckpointError("not a CRNN checkpoint")
+    if snap.get("version") != VERSION:
+        raise CheckpointError(f"unsupported checkpoint version {snap.get('version')!r}")
+    try:
+        c = snap["config"]
+        config = MonitorConfig(
+            bounds=Rect(*(float(v) for v in c["bounds"])),
+            grid_cells=int(c["grid_cells"]),
+            fur_fanout=int(c["fur_fanout"]),
+            variant=c["variant"],
+            partial_insert_threshold=float(c["partial_insert_threshold"]),
+            guard_policy=c.get("guard_policy", "strict"),
+        )
+        monitor = CRNNMonitor(config)
+        for oid, x, y in snap["objects"]:
+            monitor.add_object(int(oid), Point(float(x), float(y)))
+        for qid, x, y, exclude in snap["queries"]:
+            monitor.add_query(
+                int(qid), Point(float(x), float(y)), (int(e) for e in exclude)
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+    monitor.drain_events()  # replay deltas are not live result changes
+    if verify:
+        recorded = {int(qid): frozenset(int(o) for o in oids) for qid, oids in snap["results"]}
+        recomputed = monitor.results()
+        if recomputed != recorded:
+            bad = sorted(
+                qid
+                for qid in set(recorded) | set(recomputed)
+                if recorded.get(qid) != recomputed.get(qid)
+            )
+            raise CheckpointError(
+                f"post-restore results diverge from the checkpoint for queries {bad}"
+            )
+        try:
+            monitor.validate()
+        except AssertionError as exc:  # pragma: no cover - defensive
+            raise CheckpointError(f"post-restore validate() failed: {exc}") from exc
+    monitor.stats.checkpoints_restored += 1
+    return monitor
+
+
+def to_json(snap: dict[str, Any], indent: int | None = None) -> str:
+    """The checkpoint as a JSON document."""
+    return json.dumps(snap, indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> dict[str, Any]:
+    """Parse a checkpoint JSON document back into the dict form."""
+    try:
+        snap = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"invalid checkpoint JSON: {exc}") from exc
+    if not isinstance(snap, dict):
+        raise CheckpointError("checkpoint JSON must be an object")
+    return snap

@@ -1,0 +1,178 @@
+"""Deterministic fault injection for update streams.
+
+Real location-update streams are not the clean per-timestamp batches the
+paper's experiments assume: reports are lost, delivered twice, delayed
+past fresher reports, replayed from hours ago, and occasionally arrive
+with garbage coordinates.  :class:`FaultInjector` wraps any batch
+iterator (e.g. ``Workload.batches()``) and injects exactly these fault
+classes on a seedable schedule, so tests and benchmarks can exercise the
+monitor under the streams real deployments produce — reproducibly.
+
+The injector perturbs *delivery*, not ground truth: whatever faulted
+stream it emits **is** the stream the server saw, so a correctness
+oracle fed the same effective stream (see
+``IngestionGuard.last_effective``) must agree with the monitor exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.core.events import ObjectUpdate, QueryUpdate
+from repro.geometry.point import Point
+
+Update = Union[ObjectUpdate, QueryUpdate]
+
+#: Coordinate corruptions a broken client might ship: NaN propagation,
+#: sign/overflow bugs, and sentinel values leaking through.
+_CORRUPTIONS = ("nan_x", "nan_y", "inf_x", "neg_inf_y", "huge", "negative_huge")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-update fault probabilities of one injection schedule.
+
+    All probabilities are independent per update; ``seed`` makes the
+    whole schedule deterministic.  ``none()`` (all zeros) passes the
+    stream through untouched.
+    """
+
+    drop: float = 0.0  #: update silently lost in transit
+    duplicate: float = 0.0  #: update delivered twice in the same batch
+    reorder: float = 0.0  #: update deferred into the following batch
+    stale: float = 0.0  #: a previously delivered position replayed later
+    corrupt: float = 0.0  #: coordinates corrupted (NaN/inf/out-of-bounds)
+    seed: int = 0
+
+    def active(self) -> bool:
+        return any((self.drop, self.duplicate, self.reorder, self.stale, self.corrupt))
+
+    @classmethod
+    def mild(cls, seed: int = 0) -> "FaultSpec":
+        """A realistic low-grade fault mix (a few percent per class)."""
+        return cls(drop=0.03, duplicate=0.03, reorder=0.03, stale=0.02, corrupt=0.02, seed=seed)
+
+    @classmethod
+    def harsh(cls, seed: int = 0) -> "FaultSpec":
+        """A stress-test mix: every fault class at 10-15%."""
+        return cls(drop=0.15, duplicate=0.10, reorder=0.10, stale=0.10, corrupt=0.10, seed=seed)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the injector applied (for test assertions and reports)."""
+
+    batch_index: int
+    kind: str  # "drop" | "duplicate" | "reorder" | "stale" | "corrupt"
+    update: Update
+
+
+@dataclass
+class FaultLog:
+    """Everything a :class:`FaultInjector` did to one stream."""
+
+    events: list[InjectedFault] = field(default_factory=list)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSpec` to a stream of update batches.
+
+    The same spec over the same input stream always produces the same
+    faulted stream.  A log of every injected fault is kept in
+    :attr:`log`.
+    """
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.log = FaultLog()
+        self._deferred: list[Update] = []
+        #: id -> last delivered position, the pool stale replays draw from.
+        self._history: dict[tuple[str, int], Point] = {}
+
+    # ------------------------------------------------------------------
+    def _corrupted(self, pos: Point) -> Point:
+        mode = self.rng.choice(_CORRUPTIONS)
+        if mode == "nan_x":
+            return Point(float("nan"), pos[1])
+        if mode == "nan_y":
+            return Point(pos[0], float("nan"))
+        if mode == "inf_x":
+            return Point(float("inf"), pos[1])
+        if mode == "neg_inf_y":
+            return Point(pos[0], float("-inf"))
+        if mode == "huge":
+            return Point(pos[0] + 1.0e12, pos[1])
+        return Point(pos[0], pos[1] - 1.0e12)
+
+    @staticmethod
+    def _key(update: Update) -> tuple[str, int]:
+        if isinstance(update, ObjectUpdate):
+            return ("o", update.oid)
+        return ("q", update.qid)
+
+    @staticmethod
+    def _with_pos(update: Update, pos: Point) -> Update:
+        if isinstance(update, ObjectUpdate):
+            return ObjectUpdate(update.oid, pos)
+        return QueryUpdate(update.qid, pos)
+
+    def _inject_into(self, batch: Iterable[Update], index: int) -> list[Update]:
+        spec, rng = self.spec, self.rng
+        out: list[Update] = list(self._deferred)
+        self._deferred = []
+        for update in batch:
+            if spec.drop and rng.random() < spec.drop:
+                self.log.events.append(InjectedFault(index, "drop", update))
+                continue
+            if spec.reorder and rng.random() < spec.reorder:
+                self.log.events.append(InjectedFault(index, "reorder", update))
+                self._deferred.append(update)
+                continue
+            delivered = update
+            if update.pos is not None and spec.corrupt and rng.random() < spec.corrupt:
+                delivered = self._with_pos(update, self._corrupted(update.pos))
+                self.log.events.append(InjectedFault(index, "corrupt", delivered))
+            out.append(delivered)
+            if spec.duplicate and rng.random() < spec.duplicate:
+                out.append(delivered)
+                self.log.events.append(InjectedFault(index, "duplicate", delivered))
+            key = self._key(update)
+            if update.pos is not None and spec.stale and rng.random() < spec.stale:
+                old = self._history.get(key)
+                if old is not None and old != update.pos:
+                    replay = self._with_pos(update, old)
+                    out.append(replay)
+                    self.log.events.append(InjectedFault(index, "stale", replay))
+            if update.pos is not None:
+                self._history[key] = update.pos
+        return out
+
+    def stream(self, batches: Iterable[Iterable[Update]]) -> Iterator[list[Update]]:
+        """The faulted version of ``batches``.
+
+        Deferred (reordered) updates are delivered at the start of the
+        following batch; anything still pending after the last input
+        batch is flushed as one trailing batch, so no update is lost to
+        anything but an explicit drop.
+        """
+        index = 0
+        for batch in batches:
+            yield self._inject_into(batch, index)
+            index += 1
+        if self._deferred:
+            flushed, self._deferred = self._deferred, []
+            yield flushed

@@ -1,0 +1,223 @@
+"""The ingestion guard: update validation at the monitor's API boundary.
+
+A long-running monitor ingests location reports produced by real
+devices, flaky networks, and buggy upstream services.  The incremental
+algorithms assume well-formed input — finite coordinates inside the data
+space, deletes of ids that exist, inserts of ids that do not — and a
+single malformed update can silently corrupt the cross-structure
+invariants (a NaN coordinate, for example, makes every distance
+comparison false and poisons the pie-region bookkeeping forever).
+
+:class:`IngestionGuard` validates every update before the monitor
+mutates any structure, under one of three policies
+(:data:`~repro.core.config.GUARD_POLICIES`):
+
+* ``strict`` — raise :class:`IngestionError`; combined with the
+  monitor's whole-batch pre-validation this keeps batches atomic: a bad
+  update aborts the batch *before* the first grid mutation;
+* ``clamp`` — repair what can be repaired (out-of-bounds coordinates
+  are pulled to the data-space border; an insert of an existing id is
+  treated as a move) and drop what cannot (non-finite coordinates,
+  deletes of unknown ids);
+* ``drop`` — discard every offending update.
+
+Every violation and every action is counted in the shared
+:class:`~repro.core.stats.StatCounters` so operations dashboards (and
+``CRNNMonitor.summary()``) can see how dirty the input stream is.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Optional, Union
+
+from repro.core.config import GUARD_CLAMP, GUARD_DROP, GUARD_POLICIES, GUARD_STRICT
+from repro.core.events import ObjectUpdate, QueryUpdate
+from repro.core.stats import StatCounters
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+Update = Union[ObjectUpdate, QueryUpdate]
+
+
+class IngestionError(ValueError):
+    """A malformed update was rejected by a ``strict`` ingestion guard."""
+
+
+def _never(_id: int) -> bool:
+    return False
+
+
+class IngestionGuard:
+    """Validates updates against the data space and the known id sets.
+
+    Parameters
+    ----------
+    bounds:
+        The data space; coordinates outside it are a violation.
+    policy:
+        One of :data:`~repro.core.config.GUARD_POLICIES`.
+    stats:
+        Shared counters to record violations in.
+    has_object / has_query:
+        Membership predicates for the currently monitored ids (the
+        monitor passes ``grid.__contains__`` / ``qt.__contains__``).
+        Standalone guards (e.g. pre-filtering a stream before it reaches
+        a server) may omit them.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        policy: str = GUARD_STRICT,
+        stats: Optional[StatCounters] = None,
+        has_object: Callable[[int], bool] = _never,
+        has_query: Callable[[int], bool] = _never,
+    ):
+        if policy not in GUARD_POLICIES:
+            raise ValueError(f"policy must be one of {GUARD_POLICIES}, got {policy!r}")
+        self.bounds = bounds
+        self.policy = policy
+        self.stats = stats if stats is not None else StatCounters()
+        self.has_object = has_object
+        self.has_query = has_query
+        #: The sanitized form of the batch most recently passed through
+        #: :meth:`sanitize_batch` — the updates the monitor actually
+        #: applied.  Feeding this stream to an oracle keeps it in
+        #: lockstep with a monitor ingesting a faulty stream.
+        self.last_effective: list[Update] = []
+
+    # ------------------------------------------------------------------
+    # Coordinate validation
+    # ------------------------------------------------------------------
+    def _clamped(self, pos: Point) -> Point:
+        b = self.bounds
+        return Point(
+            min(max(pos[0], b.xmin), b.xmax),
+            min(max(pos[1], b.ymin), b.ymax),
+        )
+
+    def check_point(self, pos: Point, what: str = "update") -> Optional[Point]:
+        """Validate one coordinate pair under the configured policy.
+
+        Returns the admitted position (possibly clamped), or ``None``
+        when the update carrying it must be dropped.
+        """
+        if not (math.isfinite(pos[0]) and math.isfinite(pos[1])):
+            self.stats.guard_nonfinite += 1
+            if self.policy == GUARD_STRICT:
+                raise IngestionError(f"non-finite coordinates in {what}: {pos!r}")
+            # A non-finite coordinate carries no usable information —
+            # even the clamp policy can only drop it.
+            self.stats.guard_dropped += 1
+            return None
+        if not self.bounds.contains_point(pos):
+            self.stats.guard_out_of_bounds += 1
+            if self.policy == GUARD_STRICT:
+                raise IngestionError(
+                    f"out-of-bounds coordinates in {what}: {pos!r} outside {self.bounds!r}"
+                )
+            if self.policy == GUARD_CLAMP:
+                self.stats.guard_clamped += 1
+                return self._clamped(pos)
+            self.stats.guard_dropped += 1
+            return None
+        return pos
+
+    # ------------------------------------------------------------------
+    # Id validation
+    # ------------------------------------------------------------------
+    def check_new_id(self, kind: str, known: bool, entity_id: int) -> bool:
+        """Validate an insert; returns False on a (non-strict) id conflict.
+
+        A conflicting insert under ``clamp``/``drop`` is downgraded to a
+        location update by the caller (idempotent ingestion), never
+        applied as a second insert.
+        """
+        if not known:
+            return True
+        self.stats.guard_id_conflicts += 1
+        if self.policy == GUARD_STRICT:
+            raise IngestionError(f"{kind} id {entity_id} already registered")
+        return False
+
+    def check_delete(self, kind: str, known: bool, entity_id: int) -> bool:
+        """Validate a delete; returns False when it must be a no-op.
+
+        Deletes of unknown ids are counted under every policy; only
+        ``strict`` raises (before anything mutated, so batches stay
+        atomic), the operational policies treat them as no-ops.
+        """
+        if known:
+            return True
+        self.stats.guard_unknown_deletes += 1
+        if self.policy == GUARD_STRICT:
+            raise IngestionError(f"delete of unknown {kind} id {entity_id}")
+        self.stats.guard_dropped += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Whole-batch pre-validation
+    # ------------------------------------------------------------------
+    def sanitize_batch(self, updates: Iterable[Update]) -> list[Update]:
+        """Pre-validate a whole batch before any of it is applied.
+
+        Walks the batch in order, simulating the id membership changes
+        the batch itself causes (an insert earlier in the batch makes a
+        later delete of the same id legal), and returns the effective
+        update list.  Under ``strict`` the first violation raises here,
+        before the monitor has mutated anything — batches are atomic
+        with respect to rejection.  The result is also stored in
+        :attr:`last_effective`.
+        """
+        objects: dict[int, bool] = {}
+        queries: dict[int, bool] = {}
+        effective: list[Update] = []
+        for update in updates:
+            if isinstance(update, ObjectUpdate):
+                if update.pos is None:
+                    known = objects.get(update.oid, self.has_object(update.oid))
+                    if not self.check_delete("object", known, update.oid):
+                        continue
+                    objects[update.oid] = False
+                    effective.append(update)
+                else:
+                    pos = self.check_point(update.pos, f"object {update.oid} update")
+                    if pos is None:
+                        continue
+                    objects[update.oid] = True
+                    effective.append(
+                        update if pos is update.pos else ObjectUpdate(update.oid, pos)
+                    )
+            elif isinstance(update, QueryUpdate):
+                if update.pos is None:
+                    known = queries.get(update.qid, self.has_query(update.qid))
+                    if not self.check_delete("query", known, update.qid):
+                        continue
+                    queries[update.qid] = False
+                    effective.append(update)
+                else:
+                    pos = self.check_point(update.pos, f"query {update.qid} update")
+                    if pos is None:
+                        continue
+                    queries[update.qid] = True
+                    effective.append(
+                        update if pos is update.pos else QueryUpdate(update.qid, pos)
+                    )
+            else:
+                raise TypeError(f"unsupported update {update!r}")
+        self.last_effective = effective
+        return effective
+
+    # ------------------------------------------------------------------
+    def violation_counts(self) -> dict[str, int]:
+        """The guard-related counters as a plain dict (for summaries)."""
+        s = self.stats
+        return {
+            "guard_nonfinite": s.guard_nonfinite,
+            "guard_out_of_bounds": s.guard_out_of_bounds,
+            "guard_id_conflicts": s.guard_id_conflicts,
+            "guard_unknown_deletes": s.guard_unknown_deletes,
+            "guard_dropped": s.guard_dropped,
+            "guard_clamped": s.guard_clamped,
+        }

@@ -1,0 +1,119 @@
+"""End-to-end fault-injection smoke run (CI / ``make check``).
+
+Runs every monitor variant over a seeded workload whose update stream is
+degraded with all five fault classes (drops, duplicates, reorders, stale
+replays, corrupt coordinates), audits on a fixed cadence, and requires:
+
+* the final result map matches a lockstep brute-force oracle exactly;
+* the cross-structure ``validate()`` passes at the end;
+* no audited timestamp was left with an unrepaired divergence;
+* a checkpoint -> restore round-trip reproduces identical results.
+
+Exit status 0 on success, 1 on any failure.  Usage::
+
+    PYTHONPATH=src python -m repro.robustness.smoke [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.simulation import (
+    METHOD_LU_ONLY,
+    METHOD_LU_PI,
+    METHOD_UNIFORM,
+    run_resilience,
+)
+from repro.core.monitor import CRNNMonitor
+from repro.mobility.workload import WorkloadSpec
+from repro.robustness.faults import FaultSpec
+
+MONITOR_METHODS = (METHOD_UNIFORM, METHOD_LU_ONLY, METHOD_LU_PI)
+
+
+def run_smoke(quick: bool = False, seed: int = 7) -> list[str]:
+    """Run the smoke suite; returns a list of failure descriptions."""
+    spec = WorkloadSpec(
+        num_objects=150 if quick else 400,
+        num_queries=10 if quick else 25,
+        object_mobility=0.2,
+        query_mobility=0.2,
+        timestamps=8 if quick else 15,
+        seed=seed,
+    )
+    faults = FaultSpec.harsh(seed=seed)
+    failures: list[str] = []
+    for method in MONITOR_METHODS:
+        for guard_policy in ("drop", "clamp"):
+            result = run_resilience(method, spec, faults, guard_policy=guard_policy)
+            tag = f"{method}/{guard_policy}"
+            if not result.final_results_match:
+                failures.append(f"{tag}: final results diverge from the oracle")
+            if not result.final_validate_clean:
+                failures.append(f"{tag}: validate() failed after the run")
+            if result.unrepaired_mismatches:
+                failures.append(
+                    f"{tag}: {result.unrepaired_mismatches} audited timestamps "
+                    "left unrepaired"
+                )
+            if not result.injected:
+                failures.append(f"{tag}: the injector injected nothing (bad smoke)")
+            print(
+                f"ok {tag}: injected={result.injected} "
+                f"guard={result.guard_counters} "
+                f"audits={len(result.audits)} survived={result.survived}"
+            )
+    # Checkpoint round-trip on a freshly faulted monitor.
+    roundtrip_error = run_checkpoint_roundtrip(spec, faults, seed)
+    if roundtrip_error is not None:
+        failures.append(roundtrip_error)
+    return failures
+
+
+def run_checkpoint_roundtrip(spec: WorkloadSpec, faults: FaultSpec, seed: int):
+    """Checkpoint->restore a faulted monitor; None on success, else error."""
+    import random
+
+    from repro.bench.simulation import run_resilience_target
+    from repro.mobility.network import oldenburg_like
+    from repro.mobility.workload import Workload
+    from repro.robustness.checkpoint import from_json, to_json
+    from repro.robustness.faults import FaultInjector
+
+    network = oldenburg_like(spec.bounds, random.Random(spec.seed))
+    workload = Workload(spec, network)
+    target = run_resilience_target(METHOD_LU_PI, spec, 64, "drop")
+    workload.load_into(target)
+    for batch in FaultInjector(faults).stream(workload.batches()):
+        target.process(batch)
+    snap = from_json(to_json(target.checkpoint()))
+    restored = CRNNMonitor.from_checkpoint(snap)
+    if restored.results() != target.results():
+        return "checkpoint: restored results differ from the live monitor"
+    try:
+        restored.validate()
+    except AssertionError as exc:
+        return f"checkpoint: restored monitor fails validate(): {exc}"
+    print("ok checkpoint: restore reproduced identical results")
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller workload (CI smoke job)"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    failures = run_smoke(quick=args.quick, seed=args.seed)
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print("fault-injection smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

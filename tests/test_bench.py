@@ -19,11 +19,13 @@ from repro.bench.simulation import (
     METHOD_UNIFORM,
     make_target,
     run_method,
+    run_resilience,
 )
 from repro.core.baseline import TPLFURBaseline
 from repro.core.config import MonitorConfig
 from repro.core.monitor import CRNNMonitor
 from repro.mobility.workload import WorkloadSpec
+from repro.robustness.faults import FaultSpec
 
 TINY = WorkloadSpec(
     num_objects=60, num_queries=6, object_mobility=0.2, query_mobility=0.1,
@@ -76,6 +78,35 @@ class TestRunMethod:
 
         r = SimulationResult(method="x", spec=TINY)
         assert r.avg_update_seconds == 0.0
+
+    def test_faulted_run(self):
+        faults = FaultSpec.mild(seed=4)
+        result = run_method(
+            METHOD_LU_PI, TINY, grid_cells=8, faults=faults, guard_policy="drop"
+        )
+        # Reorder deferral may flush one trailing batch.
+        assert len(result.per_timestamp_seconds) in (TINY.timestamps, TINY.timestamps + 1)
+
+    def test_faults_rejected_for_tpl_baseline(self):
+        with pytest.raises(ValueError):
+            run_method(METHOD_TPL_FUR, TINY, faults=FaultSpec.mild())
+        with pytest.raises(ValueError):
+            run_method(METHOD_TPL_FUR, TINY, guard_policy="drop")
+
+
+class TestRunResilience:
+    def test_survives_harsh_faults(self):
+        result = run_resilience(
+            METHOD_LU_PI, TINY, FaultSpec.harsh(seed=5), grid_cells=8
+        )
+        assert result.survived
+        assert result.final_results_match and result.final_validate_clean
+        assert result.injected, "harsh schedule must inject something"
+        assert result.unrepaired_mismatches == 0
+
+    def test_tpl_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            run_resilience(METHOD_TPL_FUR, TINY, FaultSpec.mild())
 
 
 class TestSweep:

@@ -28,9 +28,12 @@ class TestSectorOf:
 
     def test_boundary_ray_belongs_to_lower_sector(self):
         q = Point(0.0, 0.0)
-        # 60-degree ray bounds sector 1 from below.
-        p = Point(math.cos(SECTOR_ANGLE), math.sin(SECTOR_ANGLE))
-        assert sector_of(q, p) == 1
+        # A point exactly on each boundary ray (built from the ray's own
+        # direction vector, so it is on the ray bit-for-bit) belongs to
+        # the sector the ray bounds from below.
+        for sector in range(NUM_SECTORS):
+            dx, dy = sector_boundary_dirs(sector)[0]
+            assert sector_of(q, Point(2.0 * dx, 2.0 * dy)) == sector
 
     def test_coincident_point_convention(self):
         q = Point(5.0, 5.0)

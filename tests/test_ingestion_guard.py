@@ -1,0 +1,223 @@
+"""Ingestion-guard behaviour: policies, counters, batch atomicity."""
+
+import math
+
+import pytest
+
+from repro.core.events import ObjectUpdate, QueryUpdate
+from repro.geometry.point import Point
+from repro.robustness.guard import IngestionError, IngestionGuard
+
+from .conftest import TEST_BOUNDS, make_monitor
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestStrictPolicy:
+    """``strict`` (the default) raises before anything mutates."""
+
+    @pytest.mark.parametrize("bad", [Point(NAN, 5.0), Point(5.0, NAN), Point(INF, 5.0)])
+    def test_nonfinite_rejected_everywhere(self, variant, bad):
+        mon = make_monitor(variant)
+        with pytest.raises(IngestionError):
+            mon.add_object(1, bad)
+        mon.add_object(1, Point(10.0, 10.0))
+        with pytest.raises(IngestionError):
+            mon.update_object(1, bad)
+        with pytest.raises(IngestionError):
+            mon.add_query(50, bad)
+        mon.add_query(50, Point(20.0, 20.0))
+        with pytest.raises(IngestionError):
+            mon.update_query(50, bad)
+        # Nothing mutated by the rejected calls.
+        assert mon.grid.positions[1] == Point(10.0, 10.0)
+        assert mon.qt.get(50).pos == Point(20.0, 20.0)
+        assert mon.stats.guard_nonfinite == 4
+        mon.validate()
+
+    def test_out_of_bounds_rejected(self, variant):
+        mon = make_monitor(variant)
+        with pytest.raises(IngestionError):
+            mon.add_object(1, Point(TEST_BOUNDS.xmax + 1.0, 5.0))
+        with pytest.raises(IngestionError):
+            mon.add_query(50, Point(5.0, TEST_BOUNDS.ymin - 0.001))
+        assert mon.object_count() == 0 and mon.query_count() == 0
+        assert mon.stats.guard_out_of_bounds == 2
+
+    def test_boundary_coordinates_are_legal(self, variant):
+        mon = make_monitor(variant)
+        mon.add_object(1, Point(TEST_BOUNDS.xmax, TEST_BOUNDS.ymax))
+        mon.add_query(50, Point(TEST_BOUNDS.xmin, TEST_BOUNDS.ymin))
+        assert mon.stats.guard_out_of_bounds == 0
+        mon.validate()
+
+    def test_unknown_delete_raises_before_mutation(self, variant):
+        mon = make_monitor(variant)
+        with pytest.raises(IngestionError):
+            mon.remove_object(99)
+        with pytest.raises(IngestionError):
+            mon.remove_query(99)
+        assert mon.stats.guard_unknown_deletes == 2
+
+    def test_duplicate_object_id_rejected(self, variant):
+        mon = make_monitor(variant)
+        mon.add_object(1, Point(10.0, 10.0))
+        with pytest.raises(IngestionError):
+            mon.add_object(1, Point(20.0, 20.0))
+        assert mon.grid.positions[1] == Point(10.0, 10.0)
+        assert mon.stats.guard_id_conflicts == 1
+
+
+class TestBatchAtomicity:
+    """Regression for the mid-batch KeyError: a delete of an unknown id
+    used to crash ``process`` after the grid was partially mutated."""
+
+    def _populated(self, variant, policy):
+        mon = make_monitor(variant, guard_policy=policy)
+        mon.add_object(1, Point(100.0, 100.0))
+        mon.add_object(2, Point(200.0, 200.0))
+        mon.add_query(50, Point(150.0, 150.0))
+        mon.drain_events()
+        return mon
+
+    def test_strict_batch_rejected_before_any_mutation(self, variant):
+        mon = self._populated(variant, "strict")
+        before = dict(mon.grid.positions)
+        results_before = mon.results()
+        batch = [
+            ObjectUpdate(1, Point(110.0, 100.0)),
+            ObjectUpdate(99, None),  # unknown delete
+            ObjectUpdate(2, Point(210.0, 200.0)),
+        ]
+        with pytest.raises(IngestionError):
+            mon.process(batch)
+        # Atomic: the first move was NOT applied either.
+        assert dict(mon.grid.positions) == before
+        assert mon.results() == results_before
+        assert mon.drain_events() == []
+        mon.validate()
+
+    @pytest.mark.parametrize("policy", ["drop", "clamp"])
+    def test_unknown_delete_is_counted_noop(self, variant, policy):
+        mon = self._populated(variant, policy)
+        batch = [
+            ObjectUpdate(1, Point(110.0, 100.0)),
+            ObjectUpdate(99, None),  # unknown object delete
+            QueryUpdate(77, None),  # unknown query delete
+            ObjectUpdate(2, Point(210.0, 200.0)),
+        ]
+        mon.process(batch)  # no crash
+        assert mon.grid.positions[1] == Point(110.0, 100.0)
+        assert mon.grid.positions[2] == Point(210.0, 200.0)
+        assert 99 not in mon.grid
+        assert mon.stats.guard_unknown_deletes == 2
+        mon.validate()
+
+    @pytest.mark.parametrize("policy", ["drop", "clamp"])
+    def test_direct_unknown_delete_noop(self, variant, policy):
+        mon = self._populated(variant, policy)
+        assert mon.remove_object(99) is False
+        assert mon.remove_query(99) is False
+        assert mon.remove_object(1) is True
+        assert mon.stats.guard_unknown_deletes == 2
+        mon.validate()
+
+    def test_delete_made_legal_by_earlier_insert_in_batch(self, variant):
+        mon = self._populated(variant, "strict")
+        batch = [ObjectUpdate(7, Point(300.0, 300.0)), ObjectUpdate(7, None)]
+        mon.process(batch)
+        assert 7 not in mon.grid
+        assert mon.stats.guard_unknown_deletes == 0
+        mon.validate()
+
+
+class TestClampPolicy:
+    def test_out_of_bounds_clamped_to_border(self, variant):
+        mon = make_monitor(variant, guard_policy="clamp")
+        mon.add_object(1, Point(TEST_BOUNDS.xmax + 500.0, -3.0))
+        assert mon.grid.positions[1] == Point(TEST_BOUNDS.xmax, TEST_BOUNDS.ymin)
+        assert mon.stats.guard_clamped == 1
+        assert mon.stats.guard_out_of_bounds == 1
+        mon.validate()
+
+    def test_nonfinite_cannot_be_clamped_and_is_dropped(self, variant):
+        mon = make_monitor(variant, guard_policy="clamp")
+        mon.add_object(1, Point(NAN, 5.0))
+        assert 1 not in mon.grid
+        assert mon.stats.guard_nonfinite == 1
+        assert mon.stats.guard_dropped == 1
+
+    def test_conflicting_insert_becomes_update(self, variant):
+        mon = make_monitor(variant, guard_policy="clamp")
+        mon.add_object(1, Point(10.0, 10.0))
+        mon.add_object(1, Point(20.0, 20.0))
+        assert mon.grid.positions[1] == Point(20.0, 20.0)
+        assert mon.stats.guard_id_conflicts == 1
+        mon.add_query(50, Point(30.0, 30.0))
+        mon.add_query(50, Point(40.0, 40.0))
+        assert mon.qt.get(50).pos == Point(40.0, 40.0)
+        assert mon.stats.guard_id_conflicts == 2
+        mon.validate()
+
+
+class TestDropPolicy:
+    def test_bad_updates_dropped_object_untouched(self, variant):
+        mon = make_monitor(variant, guard_policy="drop")
+        mon.add_object(1, Point(10.0, 10.0))
+        mon.update_object(1, Point(NAN, NAN))
+        mon.update_object(1, Point(-999.0, 5.0))
+        assert mon.grid.positions[1] == Point(10.0, 10.0)
+        assert mon.stats.guard_dropped == 2
+        mon.validate()
+
+    def test_dropped_query_insert_returns_empty(self, variant):
+        mon = make_monitor(variant, guard_policy="drop")
+        assert mon.add_query(50, Point(INF, 0.0)) == frozenset()
+        assert mon.query_count() == 0
+
+
+class TestSummarySurfacing:
+    def test_guard_counters_in_summary(self, variant):
+        mon = make_monitor(variant, guard_policy="drop")
+        mon.add_object(1, Point(NAN, 5.0))
+        mon.process([ObjectUpdate(3, None)])
+        s = mon.summary()
+        assert s["guard_nonfinite"] == 1.0
+        assert s["guard_unknown_deletes"] == 1.0
+        assert s["guard_dropped"] == 2.0  # the nan insert and the unknown delete
+        assert "audit_divergences" in s and "audit_escalations" in s
+
+
+class TestStandaloneGuard:
+    """The guard also works detached from a monitor (stream pre-filter)."""
+
+    def test_sanitize_batch_simulates_membership(self):
+        guard = IngestionGuard(TEST_BOUNDS, policy="drop")
+        batch = [
+            ObjectUpdate(1, Point(10.0, 10.0)),
+            ObjectUpdate(1, None),  # legal: inserted earlier in batch
+            ObjectUpdate(2, None),  # unknown: dropped
+            ObjectUpdate(3, Point(NAN, 1.0)),  # dropped
+            QueryUpdate(9, Point(2000.0, 2000.0)),  # out of bounds: dropped
+        ]
+        effective = guard.sanitize_batch(batch)
+        assert effective == [batch[0], batch[1]]
+        assert guard.last_effective == effective
+        assert guard.stats.guard_unknown_deletes == 1
+        assert guard.stats.guard_nonfinite == 1
+        assert guard.stats.guard_out_of_bounds == 1
+
+    def test_clamp_rewrites_updates(self):
+        guard = IngestionGuard(TEST_BOUNDS, policy="clamp")
+        [eff] = guard.sanitize_batch([ObjectUpdate(1, Point(-50.0, 500.0))])
+        assert eff.pos == Point(TEST_BOUNDS.xmin, 500.0)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            IngestionGuard(TEST_BOUNDS, policy="lenient")
+
+    def test_strict_validation_errors_are_value_errors(self):
+        guard = IngestionGuard(TEST_BOUNDS, policy="strict")
+        with pytest.raises(ValueError):
+            guard.check_point(Point(math.inf, 0.0))

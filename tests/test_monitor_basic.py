@@ -5,6 +5,7 @@ import pytest
 from repro.core.config import MonitorConfig
 from repro.core.events import ObjectUpdate, QueryUpdate, ResultChange
 from repro.geometry.point import Point
+from repro.robustness.guard import IngestionError
 
 from .conftest import TEST_BOUNDS, make_monitor
 
@@ -51,7 +52,7 @@ class TestLifecycle:
     def test_duplicate_query_rejected(self, variant):
         mon = make_monitor(variant)
         mon.add_query(50, Point(1.0, 1.0))
-        with pytest.raises(KeyError):
+        with pytest.raises(IngestionError):
             mon.add_query(50, Point(2.0, 2.0))
 
     def test_update_object_inserts_unknown_id(self, variant):
