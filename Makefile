@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check smoke bench experiments experiments-quick examples clean
+.PHONY: install test check smoke bench bench-check bench-paper experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,7 +18,16 @@ check:
 smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.robustness.smoke
 
+# Scalar-vs-vectorized perf suite; regenerates the checked-in baseline.
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --out BENCH_pr2.json
+
+# Regression gate against the checked-in BENCH_pr2.json (what CI runs).
+bench-check:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q benchmarks/test_perf_regression.py
+
+# The original pytest-benchmark suite over the paper's tables/figures.
+bench-paper:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 experiments:

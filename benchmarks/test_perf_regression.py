@@ -1,0 +1,102 @@
+"""Perf-regression gate against the checked-in ``BENCH_pr2.json``.
+
+Wall-clock numbers do not transfer between machines, so the gate has
+two machine-independent layers plus one same-machine timing layer:
+
+1. **Logical counters** — the tiny smoke workload is re-run and its
+   logical counters (NN searches, pie cases, containment queries,
+   result changes, ...) must match the baseline *exactly*.  They are
+   deterministic given the workload seed, so any drift means the
+   algorithm changed, not the machine.
+2. **Baseline invariants** — the checked-in file must still record the
+   acceptance criterion of ISSUE 2 (>= 2x update-phase speedup on the
+   n=50k uniform workload) and a well-formed schema.
+3. **Relative timing** — scalar and vectorized runs are both measured
+   here, now, on the same machine; the measured speedup may not fall
+   more than 25% below the baseline's smoke speedup.  Comparing two
+   fresh runs against each other (scaled by the baseline ratio) keeps
+   the check meaningful on arbitrarily slow CI hosts.
+
+Run via ``make bench-check`` or ``pytest benchmarks/test_perf_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.perf import HAVE_NUMPY
+from repro.perf.bench import LOGICAL_COUNTERS, SMOKE
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
+
+#: Maximum tolerated relative slowdown vs the checked-in baseline.
+MAX_SLOWDOWN = 0.25
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="NumPy unavailable: vectorized mode inert"
+)
+
+
+@pytest.fixture(scope="module")
+def baseline() -> dict:
+    assert BASELINE_PATH.exists(), (
+        "BENCH_pr2.json missing - regenerate with `make bench`"
+    )
+    with BASELINE_PATH.open() as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def smoke_now() -> dict:
+    # One measured smoke entry shared by the tests below (best-of-2,
+    # alternating modes, ~seconds of wall clock).
+    return SMOKE.measure(repeats=2)
+
+
+class TestBaselineFile:
+    def test_schema(self, baseline):
+        assert baseline["schema"] == "repro-bench"
+        assert baseline["version"] == 1
+        assert baseline["smoke"]["name"] == SMOKE.name
+        names = [w["name"] for w in baseline["workloads"]]
+        assert "uniform-n50k" in names
+
+    def test_acceptance_speedup_recorded(self, baseline):
+        # ISSUE 2 acceptance: >= 2x on the n=50k uniform workload's
+        # update-processing phase, as measured on the machine that
+        # produced the baseline.
+        n50k = next(w for w in baseline["workloads"] if w["name"] == "uniform-n50k")
+        assert n50k["update_phase_speedup"] >= 2.0
+
+    def test_smoke_counters_are_mode_independent(self, baseline):
+        # The baseline's own smoke entry must agree between its scalar
+        # and vectorized runs on every logical counter - the bench
+        # would otherwise be comparing different computations.
+        smoke = baseline["smoke"]
+        for name in LOGICAL_COUNTERS:
+            assert smoke["scalar"]["counters"][name] == smoke["vectorized"]["counters"][name], name
+
+
+class TestSmokeRegression:
+    def test_logical_counters_match_baseline_exactly(self, baseline, smoke_now):
+        want = baseline["smoke"]["logical_counters"]
+        got = {k: smoke_now["vectorized"]["counters"][k] for k in LOGICAL_COUNTERS}
+        assert got == want
+
+    def test_scalar_and_vectorized_counters_agree_now(self, smoke_now):
+        for name in LOGICAL_COUNTERS:
+            assert (
+                smoke_now["scalar"]["counters"][name]
+                == smoke_now["vectorized"]["counters"][name]
+            ), name
+
+    def test_speedup_within_25_percent_of_baseline(self, baseline, smoke_now):
+        base = baseline["smoke"]["update_phase_speedup"]
+        now = smoke_now["update_phase_speedup"]
+        assert now >= base * (1.0 - MAX_SLOWDOWN), (
+            f"vectorized smoke speedup regressed: {now}x measured vs "
+            f"{base}x in BENCH_pr2.json (>{MAX_SLOWDOWN:.0%} slowdown)"
+        )

@@ -173,6 +173,14 @@ class CircStoreBase:
         """Process one object location update against the circ-regions."""
         raise NotImplementedError
 
+    def process_moves(
+        self, moves: list[tuple[int, Optional[Point], Optional[Point]]]
+    ) -> None:
+        """Process a batch of updates; stores may override with a batched
+        fast path that is event-for-event identical to this loop."""
+        for oid, old_pos, new_pos in moves:
+            self.handle_update(oid, old_pos, new_pos)
+
     # -- shared helpers ----------------------------------------------------
     def _exclusions(self, rec: CircRecord) -> set[int]:
         """Objects a disprover search around ``rec.cand`` must ignore."""
@@ -230,6 +238,10 @@ class FurCircStore(CircStoreBase):
         #: serve several queries; the FUR-tree holds one entry per
         #: candidate whose radius aggregates the in-tree memberships).
         self.by_cand: dict[int, set[tuple[int, int]]] = {}
+        #: While a batched ``process_moves`` chunk is running, candidates
+        #: whose FUR entry changed after the chunk's array snapshot was
+        #: taken; ``None`` outside a batch.
+        self._dirty_cands: Optional[set[int]] = None
 
     # ------------------------------------------------------------------
     # Record replacement (updateCand, Fig. 12)
@@ -263,7 +275,9 @@ class FurCircStore(CircStoreBase):
             touched_cands.add(new.cand)
         else:
             self._records.pop(key, None)
-        for cand in touched_cands:
+        # Sorted for a deterministic refresh order: the scalar and
+        # batched update paths must build identical FUR/hash histories.
+        for cand in sorted(touched_cands):
             pos = cand_pos if (new is not None and cand == new.cand) else None
             self._refresh_candidate(cand, pos)
 
@@ -273,6 +287,8 @@ class FurCircStore(CircStoreBase):
         Recomputes which memberships qualify for the tree (partial
         insert), the aggregated entry radius, and the entry position.
         """
+        if self._dirty_cands is not None:
+            self._dirty_cands.add(cand)
         keys = self.by_cand.get(cand, ())
         max_radius = 0.0
         any_in_fur = False
@@ -316,8 +332,26 @@ class FurCircStore(CircStoreBase):
     def handle_update(
         self, oid: int, old_pos: Optional[Point], new_pos: Optional[Point]
     ) -> None:
-        # Step 1: circ-regions whose certificate is the moving object.
-        for key in list(self.nn_hash.get(oid, ())):
+        self._step1(oid, new_pos)
+        # Step 2: circ-regions the new location has entered (containment
+        # query on the FUR-tree; shrinks circles, may kill RNN status).
+        if new_pos is None:
+            return
+        # Ascending candidate order — the batched path discovers the
+        # same hits from an array prefilter and must replay them in the
+        # same order to emit an identical event stream.
+        hits = sorted(self.fur.containment_search(new_pos), key=lambda e: e.oid)
+        for entry in hits:
+            if entry.oid == oid:
+                continue
+            self._step2_entry(oid, new_pos, entry)
+
+    def _step1(self, oid: int, new_pos: Optional[Point]) -> None:
+        """Circ-regions whose certificate is the moving object."""
+        keys = self.nn_hash.get(oid)
+        if not keys:
+            return
+        for key in sorted(keys):
             rec = self._records[key]
             cand_pos = self.grid.positions[rec.cand]
             if new_pos is not None:
@@ -332,25 +366,80 @@ class FurCircStore(CircStoreBase):
             # certificate object is gone): only now search for a new NN.
             self._recompute_certificate(rec, cand_pos)
 
-        # Step 2: circ-regions the new location has entered (containment
-        # query on the FUR-tree; shrinks circles, may kill RNN status).
-        if new_pos is None:
-            return
-        for entry in self.fur.containment_search(new_pos):
-            if entry.oid == oid:
+    def _step2_entry(self, oid: int, new_pos: Point, entry: LeafEntry) -> None:
+        """Shrink the circ-regions of one FUR entry that ``oid`` entered."""
+        for key in sorted(self.by_cand.get(entry.oid, ())):
+            rec = self._records.get(key)
+            if rec is None:
                 continue
-            for key in list(self.by_cand.get(entry.oid, ())):
-                rec = self._records[key]
-                if rec.nn == oid or not rec.in_fur:
-                    continue
-                if oid in self.qt.get(rec.qid).exclude:
-                    continue
-                new_d = dist(new_pos, entry.pos)
-                if new_d < rec.radius:
-                    self.set_circ(
-                        rec.qid, rec.sector, rec.cand, entry.pos,
-                        rec.d_q_cand, oid, new_d,
-                    )
+            if rec.nn == oid or not rec.in_fur:
+                continue
+            if oid in self.qt.get(rec.qid).exclude:
+                continue
+            new_d = dist(new_pos, entry.pos)
+            if new_d < rec.radius:
+                self.set_circ(
+                    rec.qid, rec.sector, rec.cand, entry.pos,
+                    rec.d_q_cand, oid, new_d,
+                )
+
+    def process_moves(
+        self, moves: list[tuple[int, Optional[Point], Optional[Point]]]
+    ) -> None:
+        """Batched *updateCirc*: same per-move semantics, array prefilter.
+
+        Each move runs step 1 and step 2 in order exactly as
+        :meth:`handle_update` would, but step 2's candidate discovery is
+        a squared-distance prefilter over a chunk-level array snapshot of
+        the FUR entries instead of a tree descent per move.  Snapshot
+        staleness is repaired by unioning in every candidate refreshed
+        since the snapshot (``_dirty_cands``) and re-verifying each hit
+        against the *current* entry with the exact scalar predicate — so
+        the hit set, the processing order, and therefore the emitted
+        events are identical to the scalar path.
+        """
+        from repro.perf import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            for oid, old_pos, new_pos in moves:
+                self.handle_update(oid, old_pos, new_pos)
+            return
+        from repro.perf.kernels import EntrySnapshot
+
+        chunk = 256
+        for start in range(0, len(moves), chunk):
+            part = moves[start : start + chunk]
+            snapshot = EntrySnapshot(self.fur.entries())
+            prefiltered = snapshot.batch_containment_candidates(
+                [new_pos for _, _, new_pos in part if new_pos is not None]
+            )
+            self.stats.vector_containment_batches += 1
+            self._dirty_cands = set()
+            try:
+                row = 0
+                for oid, old_pos, new_pos in part:
+                    self._step1(oid, new_pos)
+                    if new_pos is None:
+                        continue
+                    # Logical-parity twin of one containment_search call.
+                    self.stats.containment_queries += 1
+                    row_cands = prefiltered[row]
+                    row += 1
+                    dirty = self._dirty_cands
+                    if not row_cands and not dirty:
+                        continue
+                    cands = set(row_cands)
+                    cands.update(dirty)
+                    cands.discard(oid)
+                    self.stats.vector_containment_candidates += len(cands)
+                    for cand_oid in sorted(cands):
+                        if cand_oid not in self.fur:
+                            continue
+                        entry = self.fur.get_entry(cand_oid)
+                        if dist(new_pos, entry.pos) < entry.radius:
+                            self._step2_entry(oid, new_pos, entry)
+            finally:
+                self._dirty_cands = None
 
     def _adjust_radius(self, rec: CircRecord, cand_pos: Point, new_radius: float) -> None:
         """Radius-only change of a record (certificate object moved)."""

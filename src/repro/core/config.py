@@ -53,6 +53,13 @@ class MonitorConfig:
     #: cannot be repaired, ``"drop"`` discards offending updates.  Every
     #: violation is counted in :class:`~repro.core.stats.StatCounters`.
     guard_policy: str = GUARD_STRICT
+    #: Use the vectorized fast paths (NumPy NN kernels in batched
+    #: ``process()``, batched circ containment, pie-flag prefilter).
+    #: The vectorized kernels are bit-identical twins of the scalar
+    #: reference paths — results and events never depend on this flag;
+    #: it exists for differential testing and benchmarking, and as an
+    #: automatic fallback when NumPy is unavailable.
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.variant not in _VALID_VARIANTS:

@@ -32,10 +32,13 @@ from repro.core.regions import CircRegion, MonitoringRegion, PieRegion
 from repro.core.stats import StatCounters
 from repro.core.uniform import GridCircStore
 from repro.core.update_pie import (
+    _resolve_affected,
+    build_affected_map,
+    build_affected_map_vector,
     handle_update_pies,
     register_pie_cells,
-    resolve_pies_batch,
 )
+from repro.perf import HAVE_NUMPY, PhaseTimers
 from repro.robustness.guard import IngestionGuard
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
@@ -51,7 +54,17 @@ class CRNNMonitor:
     def __init__(self, config: Optional[MonitorConfig] = None):
         self.config = config if config is not None else MonitorConfig()
         self.stats = StatCounters()
+        #: Wall-clock attribution of ``process()`` batches by stage.
+        self.timers = PhaseTimers()
+        #: Effective fast-path switch: the config flag gated on NumPy
+        #: actually being importable (results never depend on it).
+        self.vectorized = self.config.vectorized and HAVE_NUMPY
         self.grid = GridIndex(self.config.bounds, self.config.grid_cells, self.stats)
+        if not self.vectorized:
+            # Pin every grid-level dispatch (enumeration twins, NN
+            # kernels) to the scalar reference path as well, so a
+            # vectorized=False monitor is scalar end to end.
+            self.grid.vector_enabled = False
         self.qt = QueryTable()
         self._results: dict[int, set[int]] = {}
         # Per-query reference counts behind the result sets.  An object
@@ -277,34 +290,101 @@ class CRNNMonitor:
         mark = len(self._events)
         moves: list[tuple[int, Optional[Point], Optional[Point]]] = []
         query_updates: list[QueryUpdate] = []
+        with self.timers.phase("grid_moves"):
+            if self.vectorized:
+                self._apply_grid_updates_bulk(sanitized, moves, query_updates)
+            else:
+                for update in sanitized:
+                    if isinstance(update, ObjectUpdate):
+                        if update.pos is None:
+                            old_pos, _ = self.grid.delete_object(update.oid)
+                            moves.append((update.oid, old_pos, None))
+                        elif update.oid not in self.grid:
+                            self.grid.insert_object(update.oid, update.pos)
+                            moves.append((update.oid, None, update.pos))
+                        else:
+                            old_pos, _, _ = self.grid.move_object(update.oid, update.pos)
+                            if old_pos != update.pos:
+                                moves.append((update.oid, old_pos, update.pos))
+                    elif isinstance(update, QueryUpdate):
+                        query_updates.append(update)
+                    else:
+                        raise TypeError(f"unsupported update {update!r}")
+            if moves and self.vectorized:
+                # One CSR rebuild serves every NN search of the batch:
+                # pie/circ maintenance never moves grid objects, so the
+                # bucketing stays fresh until the next batch's moves.
+                self.grid.ensure_csr()
+        if moves:
+            with self.timers.phase("pies"):
+                if self.vectorized:
+                    affected = build_affected_map_vector(self, moves)
+                else:
+                    affected = build_affected_map(self, moves)
+                _resolve_affected(self, affected)
+            with self.timers.phase("circs"):
+                if self.vectorized:
+                    self.circ.process_moves(moves)
+                else:
+                    for oid, old_pos, new_pos in moves:
+                        self.circ.handle_update(oid, old_pos, new_pos)
+        with self.timers.phase("queries"):
+            for update in query_updates:
+                if update.pos is None:
+                    self.remove_query(update.qid)
+                elif update.qid in self.qt:
+                    self.update_query(update.qid, update.pos)
+                else:
+                    self.add_query(update.qid, update.pos)
+        return self._events[mark:]
+
+    def _apply_grid_updates_bulk(
+        self,
+        sanitized: list[Update],
+        moves: list[tuple[int, Optional[Point], Optional[Point]]],
+        query_updates: list[QueryUpdate],
+    ) -> None:
+        """Sequentially-equivalent grid application with bulk moves.
+
+        Runs of plain location updates for distinct known objects are
+        flushed through :meth:`GridIndex.bulk_move_objects`; inserts,
+        deletes, repeated oids, and query updates flush the pending run
+        first, so the grid evolves through the same states as the scalar
+        per-update loop and ``moves`` ends up identical.
+        """
+        pending: list[tuple[int, Point]] = []
+        pending_oids: set[int] = set()
+
+        def flush() -> None:
+            if pending:
+                moves.extend(self.grid.bulk_move_objects(pending))
+                pending.clear()
+                pending_oids.clear()
+
         for update in sanitized:
+            if (
+                isinstance(update, ObjectUpdate)
+                and update.pos is not None
+                and update.oid in self.grid
+            ):
+                if update.oid in pending_oids:
+                    flush()
+                pending.append((update.oid, update.pos))
+                pending_oids.add(update.oid)
+                continue
+            flush()
             if isinstance(update, ObjectUpdate):
                 if update.pos is None:
                     old_pos, _ = self.grid.delete_object(update.oid)
                     moves.append((update.oid, old_pos, None))
-                elif update.oid not in self.grid:
+                else:
                     self.grid.insert_object(update.oid, update.pos)
                     moves.append((update.oid, None, update.pos))
-                else:
-                    old_pos, _, _ = self.grid.move_object(update.oid, update.pos)
-                    if old_pos != update.pos:
-                        moves.append((update.oid, old_pos, update.pos))
             elif isinstance(update, QueryUpdate):
                 query_updates.append(update)
             else:
                 raise TypeError(f"unsupported update {update!r}")
-        if moves:
-            resolve_pies_batch(self, moves)
-            for oid, old_pos, new_pos in moves:
-                self.circ.handle_update(oid, old_pos, new_pos)
-        for update in query_updates:
-            if update.pos is None:
-                self.remove_query(update.qid)
-            elif update.qid in self.qt:
-                self.update_query(update.qid, update.pos)
-            else:
-                self.add_query(update.qid, update.pos)
-        return self._events[mark:]
+        flush()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -451,7 +531,9 @@ class CRNNMonitor:
             assert all(v == 1 for v in counts.values()), (
                 "multi-sector RNN count persisted past a batch"
             )
-        for cell in self.grid.all_cells():
+        # Only materialized cells can carry registrations; walking them
+        # keeps validate() from defeating the grid's lazy allocation.
+        for cell in self.grid.materialized_cells():
             for qid, mask in cell.pie_queries.items():
                 assert qid in self.qt, "registration for dead query"
                 for sector in range(NUM_SECTORS):

@@ -50,6 +50,18 @@ class StatCounters:
     # Checkpoint/recovery counters (repro.robustness.checkpoint).
     checkpoints_saved: int = 0
     checkpoints_restored: int = 0
+    # Vectorized fast-path counters (repro.perf).  The logical work
+    # counters above stay identical between the scalar and vectorized
+    # paths; these record which kernel served a request and how the
+    # batched machinery behaved, so benchmarks can attribute speedups.
+    cells_materialized: int = 0
+    csr_rebuilds: int = 0
+    vector_nn_kernel_calls: int = 0
+    vector_nn_kernel_fallbacks: int = 0
+    vector_containment_batches: int = 0
+    vector_containment_candidates: int = 0
+    vector_pie_prefilter_hits: int = 0
+    vector_pie_prefilter_skips: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

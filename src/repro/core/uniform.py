@@ -102,6 +102,8 @@ class GridCircStore(CircStoreBase):
             for cell in expected:
                 assert key in cell.circ_queries
         registered = {
-            key for cell in self.grid.all_cells() for key in cell.circ_queries
+            key
+            for cell in self.grid.materialized_cells()
+            for key in cell.circ_queries
         }
         assert registered <= set(self._records), "orphan circ registrations"

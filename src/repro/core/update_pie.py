@@ -239,6 +239,13 @@ def resolve_pies_batch(
     Must run after *all* grid moves of the batch have been applied; every
     decision below reads final positions from the grid.
     """
+    _resolve_affected(monitor, build_affected_map(monitor, moves))
+
+
+def build_affected_map(
+    monitor: "CRNNMonitor", moves: list[tuple[int, Optional[Point], Optional[Point]]]
+) -> dict[int, set[int]]:
+    """query id -> batch objects whose endpoints touch its pie cells."""
     grid = monitor.grid
     affected: dict[int, set[int]] = {}
     for oid, old_pos, new_pos in moves:
@@ -247,6 +254,63 @@ def resolve_pies_batch(
                 continue
             for qid in grid.cell_at(pos).pie_queries:
                 affected.setdefault(qid, set()).add(oid)
+    return affected
+
+
+def build_affected_map_vector(
+    monitor: "CRNNMonitor", moves: list[tuple[int, Optional[Point], Optional[Point]]]
+) -> dict[int, set[int]]:
+    """Vector twin of :func:`build_affected_map`.
+
+    Classifies every move endpoint against the grid's pie-flag bitmap in
+    one pass; only endpoints landing in a cell that carries at least one
+    pie registration consult that cell's query set.  The flag bitmap is
+    maintained by the cells themselves (flip hooks), so an unflagged cell
+    provably has an empty ``pie_queries`` — skipping it cannot change the
+    resulting map.
+    """
+    import numpy as np
+
+    grid = monitor.grid
+    flags = grid._pie_flags
+    owners: list[int] = []
+    pts: list[Point] = []
+    for oid, old_pos, new_pos in moves:
+        for pos in (old_pos, new_pos):
+            if pos is not None:
+                owners.append(oid)
+                pts.append(pos)
+    affected: dict[int, set[int]] = {}
+    if not pts:
+        return affected
+    xs = np.fromiter((p[0] for p in pts), dtype=np.float64, count=len(pts))
+    ys = np.fromiter((p[1] for p in pts), dtype=np.float64, count=len(pts))
+    # Same truncate-then-clamp as cell_coords (int() and astype both
+    # truncate toward zero for the in-range values that matter here).
+    cx = np.clip(
+        ((xs - grid.bounds.xmin) / grid._cell_w).astype(np.int64), 0, grid.n - 1
+    )
+    cy = np.clip(
+        ((ys - grid.bounds.ymin) / grid._cell_h).astype(np.int64), 0, grid.n - 1
+    )
+    flat = cy * grid.n + cx
+    hits = np.nonzero(flags[flat])[0]
+    monitor.stats.vector_pie_prefilter_hits += len(hits)
+    monitor.stats.vector_pie_prefilter_skips += len(pts) - len(hits)
+    cells = grid._cells
+    for i in hits:
+        # A flagged cell is materialized by construction (only a live
+        # cell's flip hook can set the flag).
+        for qid in cells[int(flat[i])].pie_queries:
+            affected.setdefault(qid, set()).add(owners[int(i)])
+    return affected
+
+
+def _resolve_affected(
+    monitor: "CRNNMonitor", affected: dict[int, set[int]]
+) -> None:
+    """Modify each affected pie-region at most once (see resolve_pies_batch)."""
+    grid = monitor.grid
     for qid in sorted(affected):
         if qid not in monitor.qt:
             continue  # removed earlier in the same batch

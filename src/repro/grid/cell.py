@@ -28,6 +28,8 @@ class Cell:
         "pie_queries",
         "circ_queries",
         "watchers",
+        "flat",
+        "pie_flag_hook",
     )
 
     def __init__(self, cx: int, cy: int, rect: Rect):
@@ -40,10 +42,19 @@ class Cell:
         #: Generic query book-keeping used by the non-RNN continuous
         #: monitors (range and CNN): query ids watching this cell.
         self.watchers: set[int] = set()
+        #: Row-major flat index in the owning grid, and the grid's
+        #: callback fired when ``pie_queries`` flips between empty and
+        #: non-empty.  Both stay ``None`` for cells built standalone
+        #: (tests); the grid sets them when it materializes the cell.
+        self.flat: int | None = None
+        self.pie_flag_hook = None
 
     def add_pie_query(self, query_id: int, sector: int) -> None:
         """Register sector ``sector`` of ``query_id`` as intersecting this cell."""
+        was_empty = not self.pie_queries
         self.pie_queries[query_id] = self.pie_queries.get(query_id, 0) | (1 << sector)
+        if was_empty and self.pie_flag_hook is not None:
+            self.pie_flag_hook(self.flat, True)
 
     def remove_pie_query(self, query_id: int, sector: int) -> None:
         """Drop sector ``sector`` of ``query_id`` from this cell's book-keeping."""
@@ -55,10 +66,14 @@ class Cell:
             self.pie_queries[query_id] = mask
         else:
             del self.pie_queries[query_id]
+            if not self.pie_queries and self.pie_flag_hook is not None:
+                self.pie_flag_hook(self.flat, False)
 
     def clear_pie_query(self, query_id: int) -> None:
         """Drop every sector of ``query_id`` (used when a query is removed)."""
-        self.pie_queries.pop(query_id, None)
+        if self.pie_queries.pop(query_id, None) is not None:
+            if not self.pie_queries and self.pie_flag_hook is not None:
+                self.pie_flag_hook(self.flat, False)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -94,8 +94,8 @@ class ConceptualSpace:
         if rng is None:
             return None
         cx0, cy0, cx1, cy1 = rng
-        lo = self.grid.cell(cx0, cy0).rect
-        hi = self.grid.cell(cx1, cy1).rect
+        lo = self.grid.cell_rect(cx0, cy0)
+        hi = self.grid.cell_rect(cx1, cy1)
         return Rect(lo.xmin, lo.ymin, hi.xmax, hi.ymax)
 
     def cells_of(self, direction: str, level: int) -> Iterator[Cell]:
@@ -109,9 +109,13 @@ class ConceptualSpace:
                 yield self.grid.cell(cx, cy)
 
 
-# Heap entry kinds; objects sort before cells/rects at equal key so an
-# object popped at distance d is returned before structures that might
-# only contain objects at >= d.
+# Heap entry kinds; entries are (key, kind, tiebreak, payload) so at an
+# equal key objects sort before cells/rects (an object popped at
+# distance d is returned before structures that might only contain
+# objects at >= d) and tied objects sort by id — together with the
+# tie-exhaustive stopping rule below this makes the returned k-NN list
+# canonical under the (distance, oid) order, which is the contract the
+# vectorized kernels reproduce bit-for-bit.
 _KIND_OBJECT = 0
 _KIND_CELL = 1
 _KIND_RECT = 2
@@ -129,22 +133,43 @@ def nn_search(
     Objects in ``exclude`` are skipped; objects farther than ``max_dist``
     are never reported, and the search stops as soon as it can prove no
     object within ``max_dist`` remains — this bounded form is what makes
-    the lazy-update optimisation cheap.
+    the lazy-update optimisation cheap.  Ties at the k-th distance are
+    broken by object id (canonical order).
+
+    ``k == 1`` requests are served by the vectorized ring-expansion
+    kernel when the grid's CSR bucketing is fresh; the heap-based scalar
+    search below is its reference twin.
     """
     grid.stats.nn_searches += 1
+    if k == 1 and grid.csr_fresh and grid.vector_enabled:
+        from repro.perf.kernels import nn_k1_vector
+
+        found = nn_k1_vector(grid, q, exclude=exclude, max_dist=max_dist)
+        return [found] if found is not None else []
+    return _nn_search_scalar(grid, q, k, exclude, max_dist)
+
+
+def _nn_search_scalar(
+    grid: GridIndex,
+    q: Point,
+    k: int = 1,
+    exclude: Iterable[int] = (),
+    max_dist: float = math.inf,
+) -> list[tuple[float, int]]:
+    """Reference scalar twin of :func:`nn_search` (heap best-first)."""
     excluded = set(exclude)
     space = ConceptualSpace(grid, q)
     counter = itertools.count()
     heap: list[tuple[float, int, int, object]] = []
 
     def push_cell(cell: Cell) -> None:
-        heapq.heappush(heap, (cell.rect.mindist(q), next(counter), _KIND_CELL, cell))
+        heapq.heappush(heap, (cell.rect.mindist(q), _KIND_CELL, next(counter), cell))
 
     def push_rect(direction: str, level: int) -> None:
         bounds = space.rect_bounds(direction, level)
         if bounds is not None:
             heapq.heappush(
-                heap, (bounds.mindist(q), next(counter), _KIND_RECT, (direction, level))
+                heap, (bounds.mindist(q), _KIND_RECT, next(counter), (direction, level))
             )
 
     push_cell(space.center_cell())
@@ -152,10 +177,15 @@ def nn_search(
         push_rect(direction, 0)
 
     results: list[tuple[float, int]] = []
-    while heap and len(results) < k:
-        key, _, kind, payload = heapq.heappop(heap)
+    while heap:
+        key, kind, _, payload = heapq.heappop(heap)
         grid.stats.heap_pops += 1
         if key > max_dist:
+            break
+        # Tie-exhaustive stop: keep going while entries at exactly the
+        # k-th distance remain, so equal-distance objects can be
+        # canonicalized by id below.
+        if len(results) >= k and key > results[k - 1][0]:
             break
         if kind == _KIND_OBJECT:
             results.append((key, payload))  # type: ignore[arg-type]
@@ -167,13 +197,14 @@ def nn_search(
                     continue
                 d = dist(q, grid.positions[oid])
                 if d <= max_dist:
-                    heapq.heappush(heap, (d, next(counter), _KIND_OBJECT, oid))
+                    heapq.heappush(heap, (d, _KIND_OBJECT, oid, oid))
         else:
             direction, level = payload  # type: ignore[misc]
             for cell in space.cells_of(direction, level):
                 push_cell(cell)
             push_rect(direction, level + 1)
-    return results
+    results.sort()
+    return results[:k]
 
 
 def nearest_neighbor(
@@ -201,8 +232,30 @@ def constrained_knn_search(
     in-sector distance — and cells/rectangles that provably miss the
     sector are filtered out with a cheap corner test instead of exact
     wedge clipping.  Out-of-sector objects in visited cells are skipped.
+    Ties at the k-th distance are broken by object id, and ``k == 1``
+    requests dispatch to the vectorized kernel exactly like
+    :func:`nn_search`.
     """
     grid.stats.constrained_nn_searches += 1
+    if k == 1 and grid.csr_fresh and grid.vector_enabled:
+        from repro.perf.kernels import constrained_nn_k1_vector
+
+        found = constrained_nn_k1_vector(
+            grid, q, sector, exclude=exclude, max_dist=max_dist
+        )
+        return [found] if found is not None else []
+    return _constrained_knn_search_scalar(grid, q, sector, k, exclude, max_dist)
+
+
+def _constrained_knn_search_scalar(
+    grid: GridIndex,
+    q: Point,
+    sector: int,
+    k: int = 1,
+    exclude: Iterable[int] = (),
+    max_dist: float = math.inf,
+) -> list[tuple[float, int]]:
+    """Reference scalar twin of :func:`constrained_knn_search`."""
     excluded = set(exclude)
     space = ConceptualSpace(grid, q)
     counter = itertools.count()
@@ -213,7 +266,7 @@ def constrained_knn_search(
             return
         key = cell.rect.mindist(q)
         if key <= max_dist:
-            heapq.heappush(heap, (key, next(counter), _KIND_CELL, cell))
+            heapq.heappush(heap, (key, _KIND_CELL, next(counter), cell))
 
     def push_rect(direction: str, level: int) -> None:
         bounds = space.rect_bounds(direction, level)
@@ -227,7 +280,7 @@ def constrained_knn_search(
         key = bounds.mindist(q)
         if key <= max_dist:
             heapq.heappush(
-                heap, (key, next(counter), _KIND_RECT, (direction, level, chain_only))
+                heap, (key, _KIND_RECT, next(counter), (direction, level, chain_only))
             )
 
     push_cell(space.center_cell())
@@ -235,10 +288,12 @@ def constrained_knn_search(
         push_rect(direction, 0)
 
     results: list[tuple[float, int]] = []
-    while heap and len(results) < k:
-        key, _, kind, payload = heapq.heappop(heap)
+    while heap:
+        key, kind, _, payload = heapq.heappop(heap)
         grid.stats.heap_pops += 1
         if key > max_dist:
+            break
+        if len(results) >= k and key > results[k - 1][0]:
             break
         if kind == _KIND_OBJECT:
             results.append((key, payload))  # type: ignore[arg-type]
@@ -253,14 +308,15 @@ def constrained_knn_search(
                     continue
                 d = dist(q, pos)
                 if d <= max_dist:
-                    heapq.heappush(heap, (d, next(counter), _KIND_OBJECT, oid))
+                    heapq.heappush(heap, (d, _KIND_OBJECT, oid, oid))
         else:
             direction, level, chain_only = payload  # type: ignore[misc]
             if not chain_only:
                 for cell in space.cells_of(direction, level):
                     push_cell(cell)
             push_rect(direction, level + 1)
-    return results
+    results.sort()
+    return results[:k]
 
 
 def constrained_nn_search(

@@ -6,18 +6,43 @@ location updates (Section 1).  The grid stores every object's current
 position, maps positions to cells in O(1), and exposes the geometric cell
 enumerations the monitor needs (cells in a rectangle, cells intersecting
 a pie-region, cells intersecting a circle).
+
+Two storage layers coexist:
+
+* ``Cell`` objects (lazily materialized — an empty grid allocates none)
+  carry the per-cell query book-keeping and object id sets the scalar
+  algorithms walk.
+* A NumPy-backed position store (contiguous ``oid``/``x``/``y``/flat-cell
+  arrays plus a CSR bucketing of object slots by cell) feeds the
+  vectorized kernels in :mod:`repro.perf.kernels`.  When NumPy is not
+  available the store is disabled and everything runs scalar.
+
+Every vectorized geometric enumeration keeps its original scalar loop as
+a ``_scalar``-suffixed twin; the public methods dispatch between the two
+and differential tests assert the twins agree bit-for-bit.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.core.stats import StatCounters
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.geometry.sector import sector_boundary_dirs
 from repro.grid.cell import Cell
+
+try:  # pragma: no cover - exercised implicitly by every test run
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is part of the toolchain
+    _np = None
+
+#: Minimum number of grid rows for which the vectorized row-interval
+#: kernels beat the scalar loops (array setup costs a few microseconds).
+_VECTOR_MIN_ROWS = 5
+
+_EMPTY_SET: frozenset[int] = frozenset()
 
 
 class GridIndex:
@@ -49,17 +74,28 @@ class GridIndex:
         self.stats = stats if stats is not None else StatCounters()
         self._cell_w = bounds.width / cells_per_axis
         self._cell_h = bounds.height / cells_per_axis
-        self._cells: list[Cell] = []
-        for cy in range(cells_per_axis):
-            for cx in range(cells_per_axis):
-                rect = Rect(
-                    bounds.xmin + cx * self._cell_w,
-                    bounds.ymin + cy * self._cell_h,
-                    bounds.xmin + (cx + 1) * self._cell_w,
-                    bounds.ymin + (cy + 1) * self._cell_h,
-                )
-                self._cells.append(Cell(cx, cy, rect))
+        #: Lazily materialized cells, keyed by row-major flat index.
+        self._cells: dict[int, Cell] = {}
         self.positions: dict[int, Point] = {}
+        #: Whether searches may dispatch to the vectorized kernels.
+        self.vector_enabled = _np is not None
+        if _np is not None:
+            self._slot: dict[int, int] = {}
+            self._size = 0
+            cap = 64
+            self._oid_arr = _np.empty(cap, dtype=_np.int64)
+            self._px = _np.empty(cap, dtype=_np.float64)
+            self._py = _np.empty(cap, dtype=_np.float64)
+            self._flat_arr = _np.empty(cap, dtype=_np.int64)
+            self._csr_dirty = True
+            self._csr_order: Optional[object] = None
+            self._csr_indptr: Optional[object] = None
+            self._pie_flags = _np.zeros(cells_per_axis * cells_per_axis, dtype=bool)
+        else:  # pragma: no cover - numpy is part of the toolchain
+            self._pie_flags = None
+        #: Set by bulk_move_objects instead of touching per-cell object
+        #: sets; the first reader pays one rebuild from the CSR.
+        self._cell_objects_stale = False
 
     # ------------------------------------------------------------------
     # Cell addressing
@@ -78,18 +114,82 @@ class GridIndex:
             cy = self.n - 1
         return cx, cy
 
+    def cell_rect(self, cx: int, cy: int) -> Rect:
+        """Extent of the cell at ``(cx, cy)``, without materializing it."""
+        cell = self._cells.get(cy * self.n + cx)
+        if cell is not None:
+            return cell.rect
+        return Rect(
+            self.bounds.xmin + cx * self._cell_w,
+            self.bounds.ymin + cy * self._cell_h,
+            self.bounds.xmin + (cx + 1) * self._cell_w,
+            self.bounds.ymin + (cy + 1) * self._cell_h,
+        )
+
+    def _materialize(self, flat: int) -> Cell:
+        cell = self._cells.get(flat)
+        if cell is None:
+            cy, cx = divmod(flat, self.n)
+            cell = Cell(cx, cy, self.cell_rect(cx, cy))
+            cell.flat = flat
+            cell.pie_flag_hook = self._on_pie_flag
+            self._cells[flat] = cell
+            self.stats.cells_materialized += 1
+        return cell
+
+    def _on_pie_flag(self, flat: int, registered: bool) -> None:
+        if self._pie_flags is not None:
+            self._pie_flags[flat] = registered
+
     def cell(self, cx: int, cy: int) -> Cell:
         """The cell at grid coordinates ``(cx, cy)``."""
-        return self._cells[cy * self.n + cx]
+        if self._cell_objects_stale:
+            self._sync_cell_objects()
+        return self._materialize(cy * self.n + cx)
 
     def cell_at(self, p: Point) -> Cell:
         """The cell containing point ``p``."""
+        if self._cell_objects_stale:
+            self._sync_cell_objects()
         cx, cy = self.cell_coords(p)
-        return self._cells[cy * self.n + cx]
+        return self._materialize(cy * self.n + cx)
+
+    def peek_cell(self, cx: int, cy: int) -> Optional[Cell]:
+        """The cell at ``(cx, cy)`` if materialized, else ``None``."""
+        if self._cell_objects_stale:
+            self._sync_cell_objects()
+        return self._cells.get(cy * self.n + cx)
+
+    def objects_in_cell(self, cx: int, cy: int) -> frozenset[int] | set[int]:
+        """Object ids in a cell; empty (and allocation-free) if never touched."""
+        if self._cell_objects_stale:
+            self._sync_cell_objects()
+        cell = self._cells.get(cy * self.n + cx)
+        return cell.objects if cell is not None else _EMPTY_SET
 
     def all_cells(self) -> Iterator[Cell]:
-        """Every cell of the grid (row-major)."""
-        return iter(self._cells)
+        """Every cell of the grid (row-major).
+
+        Materializes the full grid — meant for validation and tests, not
+        hot paths; use :meth:`materialized_cells` to walk only cells that
+        carry state.
+        """
+        if self._cell_objects_stale:
+            self._sync_cell_objects()
+        for flat in range(self.n * self.n):
+            yield self._materialize(flat)
+
+    def materialized_cells(self) -> Iterator[Cell]:
+        """Only the cells that have been materialized (row-major order)."""
+        if self._cell_objects_stale:
+            self._sync_cell_objects()
+        for flat in sorted(self._cells):
+            yield self._cells[flat]
+
+    @property
+    def materialized_cell_count(self) -> int:
+        """How many cells have been allocated so far."""
+        return len(self._cells)
 
     # ------------------------------------------------------------------
     # Object maintenance
@@ -101,13 +201,44 @@ class GridIndex:
         self.positions[oid] = p
         cell = self.cell_at(p)
         cell.objects.add(oid)
+        if _np is not None:
+            slot = self._size
+            if slot == len(self._oid_arr):
+                self._grow()
+            self._oid_arr[slot] = oid
+            self._px[slot] = p[0]
+            self._py[slot] = p[1]
+            self._flat_arr[slot] = cell.flat
+            self._slot[oid] = slot
+            self._size = slot + 1
+            self._csr_dirty = True
         return cell
+
+    def _grow(self) -> None:
+        new_cap = len(self._oid_arr) * 2
+        for name in ("_oid_arr", "_px", "_py", "_flat_arr"):
+            old = getattr(self, name)
+            grown = _np.empty(new_cap, dtype=old.dtype)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
 
     def delete_object(self, oid: int) -> tuple[Point, Cell]:
         """Remove an object; returns its last position and cell."""
         p = self.positions.pop(oid)
         cell = self.cell_at(p)
         cell.objects.discard(oid)
+        if _np is not None:
+            slot = self._slot.pop(oid)
+            last = self._size - 1
+            if slot != last:
+                moved = int(self._oid_arr[last])
+                self._oid_arr[slot] = moved
+                self._px[slot] = self._px[last]
+                self._py[slot] = self._py[last]
+                self._flat_arr[slot] = self._flat_arr[last]
+                self._slot[moved] = slot
+            self._size = last
+            self._csr_dirty = True
         return p, cell
 
     def move_object(self, oid: int, new_pos: Point) -> tuple[Point, Cell, Cell]:
@@ -119,7 +250,92 @@ class GridIndex:
             old_cell.objects.discard(oid)
             new_cell.objects.add(oid)
         self.positions[oid] = new_pos
+        if _np is not None:
+            slot = self._slot[oid]
+            self._px[slot] = new_pos[0]
+            self._py[slot] = new_pos[1]
+            if old_cell is not new_cell:
+                # In-cell moves keep the CSR bucketing valid: kernels
+                # gather coordinates through the order array, never from
+                # a coordinate copy.
+                self._flat_arr[slot] = new_cell.flat
+                self._csr_dirty = True
         return old_pos, old_cell, new_cell
+
+    def bulk_move_objects(
+        self, pairs: list[tuple[int, Point]]
+    ) -> list[tuple[int, Point, Point]]:
+        """Apply many location updates at once; returns the real moves.
+
+        Exactly equivalent to calling :meth:`move_object` per pair in
+        order and keeping the ``(oid, old_pos, new_pos)`` of each pair
+        whose position actually changed — but the coordinate writes and
+        cell re-bucketing are done in a handful of array operations, and
+        only cell-crossing objects pay any per-object Python work.
+
+        The caller guarantees every oid is present and appears at most
+        once (``CRNNMonitor.process`` flushes a pending run whenever an
+        oid repeats within a batch).
+        """
+        if _np is None or len(pairs) < 16:
+            moves = []
+            for oid, p in pairs:
+                old_pos, _, _ = self.move_object(oid, p)
+                if old_pos != p:
+                    moves.append((oid, old_pos, p))
+            return moves
+        m = len(pairs)
+        slots = _np.fromiter(
+            (self._slot[oid] for oid, _ in pairs), _np.int64, count=m
+        )
+        xs = _np.fromiter((p[0] for _, p in pairs), _np.float64, count=m)
+        ys = _np.fromiter((p[1] for _, p in pairs), _np.float64, count=m)
+        cx = _np.clip(
+            ((xs - self.bounds.xmin) / self._cell_w).astype(_np.int64), 0, self.n - 1
+        )
+        cy = _np.clip(
+            ((ys - self.bounds.ymin) / self._cell_h).astype(_np.int64), 0, self.n - 1
+        )
+        new_flat = cy * self.n + cx
+        old_flat = self._flat_arr[slots]
+        if (new_flat != old_flat).any():
+            self._csr_dirty = True
+            # Per-cell object sets are NOT updated here: the first
+            # reader (any cell accessor) pays one rebuild from the CSR,
+            # which is far cheaper than per-object set churn.
+            self._cell_objects_stale = True
+        self._px[slots] = xs
+        self._py[slots] = ys
+        self._flat_arr[slots] = new_flat
+        moves = []
+        positions = self.positions
+        for oid, p in pairs:
+            old = positions[oid]
+            if old != p:
+                moves.append((oid, old, p))
+                positions[oid] = p
+        return moves
+
+    def _sync_cell_objects(self) -> None:
+        """Rebuild every materialized cell's object set from the CSR.
+
+        Runs at most once per bulk-move batch, on the first cell read;
+        afterwards the per-cell sets are exact again and the incremental
+        single-update maintenance takes over.
+        """
+        self._cell_objects_stale = False
+        self.ensure_csr()
+        order_oids = self._oid_arr[self._csr_order].tolist()
+        indptr = self._csr_indptr
+        for cell in self._cells.values():
+            if cell.objects:
+                cell.objects.clear()
+        counts = _np.diff(indptr)
+        for flat in _np.nonzero(counts)[0].tolist():
+            cell = self._cells.get(flat)
+            if cell is None:
+                cell = self._materialize(flat)
+            cell.objects = set(order_oids[indptr[flat] : indptr[flat + 1]])
 
     def position(self, oid: int) -> Point:
         """Current position of object ``oid``."""
@@ -132,6 +348,37 @@ class GridIndex:
         return oid in self.positions
 
     # ------------------------------------------------------------------
+    # CSR bucketing (vectorized kernels)
+    # ------------------------------------------------------------------
+    @property
+    def csr_fresh(self) -> bool:
+        """Whether the CSR bucketing matches the current object layout."""
+        return (
+            _np is not None
+            and not self._csr_dirty
+            and self._csr_order is not None
+        )
+
+    def ensure_csr(self) -> None:
+        """(Re)build the cell -> object-slot CSR bucketing if stale.
+
+        O(n log n) in the object count — call once per batch, not per
+        update; the single-update paths simply leave it stale and the
+        searches fall back to the scalar kernels.
+        """
+        if _np is None or self.csr_fresh:
+            return
+        flats = self._flat_arr[: self._size]
+        self._csr_order = _np.argsort(flats, kind="stable")
+        counts = _np.bincount(flats, minlength=self.n * self.n)
+        indptr = _np.empty(self.n * self.n + 1, dtype=_np.int64)
+        indptr[0] = 0
+        _np.cumsum(counts, out=indptr[1:])
+        self._csr_indptr = indptr
+        self._csr_dirty = False
+        self.stats.csr_rebuilds += 1
+
+    # ------------------------------------------------------------------
     # Geometric cell enumerations
     # ------------------------------------------------------------------
     def cell_range_for_rect(self, rect: Rect) -> tuple[int, int, int, int]:
@@ -142,12 +389,15 @@ class GridIndex:
 
     def cells_in_rect(self, rect: Rect) -> Iterator[Cell]:
         """Cells whose extent intersects ``rect``."""
+        if self._cell_objects_stale:
+            self._sync_cell_objects()
         cx0, cy0, cx1, cy1 = self.cell_range_for_rect(rect)
         for cy in range(cy0, cy1 + 1):
             base = cy * self.n
             for cx in range(cx0, cx1 + 1):
-                yield self._cells[base + cx]
+                yield self._materialize(base + cx)
 
+    # -- pie-region enumeration ----------------------------------------
     def cells_intersecting_pie(self, q: Point, sector: int, radius: float) -> Iterator[Cell]:
         """Cells intersecting the pie of ``sector`` around ``q``.
 
@@ -161,11 +411,72 @@ class GridIndex:
         bounding box.  The interval is padded by a hair so borderline
         cells are over- rather than under-registered (over-registration
         is always safe for monitoring).
+
+        Dispatches between a scalar per-row loop and a NumPy row-interval
+        kernel; the two are bit-identical (differential-tested).
+
+        The yielded cells are meant for pie-region bookkeeping
+        (``pie_queries``); their ``objects`` sets are synchronized
+        lazily, so read object membership through :meth:`cell` /
+        :meth:`objects_in_cell` instead.
         """
+        prep = self._prep_pie(q, sector, radius)
+        if prep is None:
+            return
+        radius, cy0, cy1, dirs, extremes, pad = prep
+        if (
+            _np is not None
+            and self.vector_enabled
+            and cy1 - cy0 + 1 >= _VECTOR_MIN_ROWS
+        ):
+            rows = self._pie_row_intervals_vector(q, radius, cy0, cy1, dirs, extremes, pad)
+        else:
+            rows = self._pie_row_intervals_scalar(q, radius, cy0, cy1, dirs, extremes, pad)
+        for cy, cx0, cx1 in rows:
+            base = cy * self.n
+            for cx in range(cx0, cx1 + 1):
+                yield self._materialize(base + cx)
+
+    def _cells_intersecting_pie_scalar(
+        self, q: Point, sector: int, radius: float
+    ) -> Iterator[Cell]:
+        """Reference scalar twin of :meth:`cells_intersecting_pie`."""
+        prep = self._prep_pie(q, sector, radius)
+        if prep is None:
+            return
+        radius, cy0, cy1, dirs, extremes, pad = prep
+        for cy, cx0, cx1 in self._pie_row_intervals_scalar(
+            q, radius, cy0, cy1, dirs, extremes, pad
+        ):
+            base = cy * self.n
+            for cx in range(cx0, cx1 + 1):
+                yield self._materialize(base + cx)
+
+    def _cells_intersecting_pie_vector(
+        self, q: Point, sector: int, radius: float
+    ) -> Iterator[Cell]:
+        """Vectorized twin of :meth:`cells_intersecting_pie` (test hook)."""
+        if _np is None:  # pragma: no cover - numpy is part of the toolchain
+            yield from self._cells_intersecting_pie_scalar(q, sector, radius)
+            return
+        prep = self._prep_pie(q, sector, radius)
+        if prep is None:
+            return
+        radius, cy0, cy1, dirs, extremes, pad = prep
+        for cy, cx0, cx1 in self._pie_row_intervals_vector(
+            q, radius, cy0, cy1, dirs, extremes, pad
+        ):
+            base = cy * self.n
+            for cx in range(cx0, cx1 + 1):
+                yield self._materialize(base + cx)
+
+    def _prep_pie(self, q: Point, sector: int, radius: float):
+        """Shared setup of the pie enumeration (extremes, row range, pad)."""
         if math.isinf(radius):
             radius = self.bounds.maxdist(q)
         qx, qy = q
-        (d0x, d0y), (d1x, d1y) = sector_boundary_dirs(sector)
+        dirs = sector_boundary_dirs(sector)
+        (d0x, d0y), (d1x, d1y) = dirs
         tip0 = (qx + radius * d0x, qy + radius * d0y)
         tip1 = (qx + radius * d1x, qy + radius * d1y)
         # Extreme points of the pie: apex, the two arc endpoints, and —
@@ -181,9 +492,15 @@ class GridIndex:
         y_lo = max(self.bounds.ymin, min(p[1] for p in extremes) - pad)
         y_hi = min(self.bounds.ymax, max(p[1] for p in extremes) + pad)
         if y_lo > y_hi:
-            return
+            return None
         _, cy0 = self.cell_coords(Point(qx, y_lo))
         _, cy1 = self.cell_coords(Point(qx, y_hi))
+        return radius, cy0, cy1, dirs, extremes, pad
+
+    def _pie_row_intervals_scalar(self, q, radius, cy0, cy1, dirs, extremes, pad):
+        """Per-row x-intervals of the pie — the scalar reference loop."""
+        qx, qy = q
+        (d0x, d0y), (d1x, d1y) = dirs
         r_sq = radius * radius
         for cy in range(cy0, cy1 + 1):
             y0 = self.bounds.ymin + cy * self._cell_h
@@ -222,23 +539,135 @@ class GridIndex:
                 continue
             cx0, _ = self.cell_coords(Point(xa, y0))
             cx1, _ = self.cell_coords(Point(xb, y0))
-            base = cy * self.n
-            for cx in range(cx0, cx1 + 1):
-                yield self._cells[base + cx]
+            yield cy, cx0, cx1
 
+    def _pie_row_intervals_vector(self, q, radius, cy0, cy1, dirs, extremes, pad):
+        """NumPy twin of :meth:`_pie_row_intervals_scalar`.
+
+        Every row's interval is computed with elementwise operations that
+        round exactly like the scalar loop's (``np.sqrt`` matches
+        ``math.sqrt`` bit-for-bit; min/max are exact), so the yielded
+        ``(cy, cx0, cx1)`` triples are identical.
+        """
+        qx, qy = q
+        (d0x, d0y), (d1x, d1y) = dirs
+        r_sq = radius * radius
+        cys = _np.arange(cy0, cy1 + 1, dtype=_np.int64)
+        y0 = self.bounds.ymin + cys * self._cell_h
+        y1 = y0 + self._cell_h
+        nrows = len(cys)
+        x_min = _np.full(nrows, _np.inf)
+        x_max = _np.full(nrows, -_np.inf)
+        has = _np.zeros(nrows, dtype=bool)
+
+        def contribute(mask, xval):
+            _np.minimum(x_min, _np.where(mask, xval, _np.inf), out=x_min)
+            _np.maximum(x_max, _np.where(mask, xval, -_np.inf), out=x_max)
+            _np.logical_or(has, mask, out=has)
+
+        for px, py in extremes:
+            contribute((y0 - pad <= py) & (py <= y1 + pad), px)
+        for dx, dy in ((d0x, d0y), (d1x, d1y)):
+            sy = dy * radius
+            if sy != 0.0:
+                for yb in (y0, y1):
+                    t = (yb - qy) / sy
+                    contribute((0.0 <= t) & (t <= 1.0), qx + t * radius * dx)
+        for yb in (y0, y1):
+            dyq = yb - qy
+            m = r_sq - dyq * dyq
+            ok = m >= 0.0
+            s = _np.sqrt(_np.where(ok, m, 0.0))
+            for px in (qx - s, qx + s):
+                vx = px - qx
+                wedge = ((d0x * dyq - d0y * vx) >= -pad) & ((d1x * dyq - d1y * vx) <= pad)
+                contribute(ok & wedge, px)
+
+        xa = _np.maximum(self.bounds.xmin, x_min - pad)
+        xb = _np.minimum(self.bounds.xmax, x_max + pad)
+        keep = has & (xa <= xb)
+        idx = _np.nonzero(keep)[0]
+        if len(idx) == 0:
+            return
+        cx0 = _np.clip(
+            ((xa[idx] - self.bounds.xmin) / self._cell_w).astype(_np.int64), 0, self.n - 1
+        )
+        cx1 = _np.clip(
+            ((xb[idx] - self.bounds.xmin) / self._cell_w).astype(_np.int64), 0, self.n - 1
+        )
+        for row, a, b in zip(cys[idx], cx0, cx1):
+            yield int(row), int(a), int(b)
+
+    # -- disk enumeration ----------------------------------------------
     def cells_intersecting_circle(self, center: Point, radius: float) -> Iterator[Cell]:
         """Cells intersecting the closed disk around ``center``.
 
         Row-interval enumeration: per row the disk's x-extent is widest
         at the y nearest the centre, giving O(cells yielded) total work.
+        Dispatches between the scalar loop and its bit-identical NumPy
+        twin exactly like :meth:`cells_intersecting_pie`.
         """
+        if self._cell_objects_stale:
+            self._sync_cell_objects()
+        prep = self._prep_circle(center, radius)
+        if prep is None:
+            return
+        cy0, cy1 = prep
+        if (
+            _np is not None
+            and self.vector_enabled
+            and cy1 - cy0 + 1 >= _VECTOR_MIN_ROWS
+        ):
+            rows = self._circle_row_intervals_vector(center, radius, cy0, cy1)
+        else:
+            rows = self._circle_row_intervals_scalar(center, radius, cy0, cy1)
+        for cy, cx0, cx1 in rows:
+            base = cy * self.n
+            for cx in range(cx0, cx1 + 1):
+                yield self._materialize(base + cx)
+
+    def _cells_intersecting_circle_scalar(
+        self, center: Point, radius: float
+    ) -> Iterator[Cell]:
+        """Reference scalar twin of :meth:`cells_intersecting_circle`."""
+        prep = self._prep_circle(center, radius)
+        if prep is None:
+            return
+        cy0, cy1 = prep
+        for cy, cx0, cx1 in self._circle_row_intervals_scalar(center, radius, cy0, cy1):
+            base = cy * self.n
+            for cx in range(cx0, cx1 + 1):
+                yield self._materialize(base + cx)
+
+    def _cells_intersecting_circle_vector(
+        self, center: Point, radius: float
+    ) -> Iterator[Cell]:
+        """Vectorized twin of :meth:`cells_intersecting_circle` (test hook)."""
+        if _np is None:  # pragma: no cover - numpy is part of the toolchain
+            yield from self._cells_intersecting_circle_scalar(center, radius)
+            return
+        prep = self._prep_circle(center, radius)
+        if prep is None:
+            return
+        cy0, cy1 = prep
+        for cy, cx0, cx1 in self._circle_row_intervals_vector(center, radius, cy0, cy1):
+            base = cy * self.n
+            for cx in range(cx0, cx1 + 1):
+                yield self._materialize(base + cx)
+
+    def _prep_circle(self, center: Point, radius: float):
         qx, qy = center
         y_lo = max(self.bounds.ymin, qy - radius)
         y_hi = min(self.bounds.ymax, qy + radius)
         if y_lo > y_hi:
-            return
+            return None
         _, cy0 = self.cell_coords(Point(qx, y_lo))
         _, cy1 = self.cell_coords(Point(qx, y_hi))
+        return cy0, cy1
+
+    def _circle_row_intervals_scalar(self, center: Point, radius: float, cy0: int, cy1: int):
+        """Per-row x-intervals of the disk — the scalar reference loop."""
+        qx, qy = center
         r_sq = radius * radius
         for cy in range(cy0, cy1 + 1):
             y0 = self.bounds.ymin + cy * self._cell_h
@@ -254,6 +683,51 @@ class GridIndex:
                 continue
             cx0, _ = self.cell_coords(Point(xa, y0))
             cx1, _ = self.cell_coords(Point(xb, y0))
-            base = cy * self.n
-            for cx in range(cx0, cx1 + 1):
-                yield self._cells[base + cx]
+            yield cy, cx0, cx1
+
+    def _circle_row_intervals_vector(self, center: Point, radius: float, cy0: int, cy1: int):
+        """NumPy twin of :meth:`_circle_row_intervals_scalar` (bit-identical)."""
+        qx, qy = center
+        r_sq = radius * radius
+        cys = _np.arange(cy0, cy1 + 1, dtype=_np.int64)
+        y0 = self.bounds.ymin + cys * self._cell_h
+        y1 = y0 + self._cell_h
+        inside = (y0 <= qy) & (qy <= y1)
+        nearer0 = _np.abs(y0 - qy) < _np.abs(y1 - qy)
+        y_star = _np.where(inside, qy, _np.where(nearer0, y0, y1))
+        m = r_sq - (y_star - qy) ** 2
+        keep = m >= 0.0
+        half = _np.sqrt(_np.where(keep, m, 0.0))
+        xa = _np.maximum(self.bounds.xmin, qx - half)
+        xb = _np.minimum(self.bounds.xmax, qx + half)
+        keep &= xa <= xb
+        idx = _np.nonzero(keep)[0]
+        if len(idx) == 0:
+            return
+        cx0 = _np.clip(
+            ((xa[idx] - self.bounds.xmin) / self._cell_w).astype(_np.int64), 0, self.n - 1
+        )
+        cx1 = _np.clip(
+            ((xb[idx] - self.bounds.xmin) / self._cell_w).astype(_np.int64), 0, self.n - 1
+        )
+        for row, a, b in zip(cys[idx], cx0, cx1):
+            yield int(row), int(a), int(b)
+
+    def circle_row_intervals(self, center: Point, radius: float):
+        """Row intervals ``(cy, cx0, cx1)`` of cells meeting the disk.
+
+        Used by the vectorized NN kernels to gather CSR slices without
+        materializing (or touching) any ``Cell``; dispatches like
+        :meth:`cells_intersecting_circle` and yields identical triples.
+        """
+        prep = self._prep_circle(center, radius)
+        if prep is None:
+            return iter(())
+        cy0, cy1 = prep
+        if (
+            _np is not None
+            and self.vector_enabled
+            and cy1 - cy0 + 1 >= _VECTOR_MIN_ROWS
+        ):
+            return self._circle_row_intervals_vector(center, radius, cy0, cy1)
+        return self._circle_row_intervals_scalar(center, radius, cy0, cy1)

@@ -1,0 +1,29 @@
+"""Performance subsystem: vectorized kernels, phase timers, bench harness.
+
+The scalar algorithms in :mod:`repro.core` and :mod:`repro.grid` are the
+reference semantics; everything in this package is an *equivalent* fast
+path.  The contract (enforced by differential tests) is bit-identity:
+a vectorized kernel must return exactly what its ``_scalar`` twin
+returns, including ``(distance, oid)`` tie-breaks.
+
+Modules:
+
+* :mod:`repro.perf.kernels` — NumPy ring-expansion NN kernels over the
+  grid's CSR bucketing, vectorized sector classification, and the
+  batched circ-region containment prefilter.
+* :mod:`repro.perf.timers` — lightweight per-phase wall-clock timers
+  threaded through :class:`~repro.core.monitor.CRNNMonitor`.
+* :mod:`repro.perf.bench` — the perf-regression harness behind
+  ``make bench`` (writes ``BENCH_pr2.json``).
+"""
+
+from repro.perf.timers import PhaseTimers
+
+try:
+    import numpy as _np  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is part of the toolchain
+    HAVE_NUMPY = False
+
+__all__ = ["PhaseTimers", "HAVE_NUMPY"]

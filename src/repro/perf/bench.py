@@ -1,0 +1,244 @@
+"""Perf-regression bench harness (``make bench``).
+
+Runs the Table-1-style uniform workloads through a scalar-configured and
+a vectorized-configured monitor, times the update-processing phases via
+the monitor's :class:`~repro.perf.timers.PhaseTimers`, and writes the
+results to ``BENCH_pr2.json``:
+
+* per workload: updates/sec, per-phase milliseconds, the full
+  :class:`~repro.core.stats.StatCounters` snapshot for both modes, and
+  the scalar/vectorized speedup of the update-processing phase;
+* a ``smoke`` entry at tiny scale whose *logical* counters (NN searches,
+  pie cases, containment queries, result changes) are deterministic
+  given the workload seed — CI re-runs the tiny workload and compares
+  them exactly, which regresses algorithmic behaviour without depending
+  on the wall clock of the machine that produced the baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.perf.bench --out BENCH_pr2.json
+    PYTHONPATH=src python -m repro.perf.bench --quick   # smoke only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.core.config import MonitorConfig
+from repro.core.events import ObjectUpdate, QueryUpdate
+from repro.core.monitor import CRNNMonitor
+from repro.geometry.point import Point
+
+#: Counters that are pure-Python deterministic for a given workload seed
+#: (no dependency on NumPy being present, on the vectorized flag, or on
+#: the machine) — the smoke baseline compares these exactly.
+LOGICAL_COUNTERS = (
+    "nn_searches",
+    "constrained_nn_searches",
+    "pie_case1",
+    "pie_case2",
+    "pie_case3",
+    "result_changes",
+    "containment_queries",
+    "circ_lazy_radius_updates",
+    "circ_nn_searches_triggered",
+    "query_recomputations",
+)
+
+#: The update-processing phase of a batch (what the speedup acceptance
+#: criterion is measured on): everything ``process()`` does for object
+#: moves — grid maintenance, pie resolution, circ maintenance.
+UPDATE_PHASES = ("grid_moves", "pies", "circs")
+
+
+class Workload:
+    """A deterministic stream of per-tick update batches."""
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        queries: int,
+        ticks: int,
+        moves_per_tick: int,
+        seed: int = 17,
+        grid_cells: int = 128,
+        variant: str = "lu+pi",
+    ):
+        self.name = name
+        self.n = n
+        self.queries = queries
+        self.ticks = ticks
+        self.moves_per_tick = moves_per_tick
+        self.seed = seed
+        self.grid_cells = grid_cells
+        self.variant = variant
+
+    def initial_batch(self, rng: random.Random) -> list:
+        batch = [
+            ObjectUpdate(oid, Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000)))
+            for oid in range(self.n)
+        ]
+        batch.extend(
+            QueryUpdate(
+                1_000_000 + qid,
+                Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000)),
+            )
+            for qid in range(self.queries)
+        )
+        return batch
+
+    def tick_batch(self, rng: random.Random) -> list:
+        # Random-walk moves: short steps keep most updates inside a
+        # query's monitoring region's neighbourhood, like the paper's
+        # moving-object workloads.
+        batch = []
+        for _ in range(self.moves_per_tick):
+            oid = rng.randrange(self.n)
+            if rng.random() < 0.01:  # occasional long relocation
+                x = rng.uniform(0, 10_000)
+                y = rng.uniform(0, 10_000)
+            else:
+                x = min(max(self._pos[oid][0] + rng.uniform(-200.0, 200.0), 0.0), 10_000.0)
+                y = min(max(self._pos[oid][1] + rng.uniform(-200.0, 200.0), 0.0), 10_000.0)
+            p = Point(x, y)
+            self._pos[oid] = p
+            batch.append(ObjectUpdate(oid, p))
+        return batch
+
+    def run(self, vectorized: bool) -> dict:
+        rng = random.Random(self.seed)
+        config = MonitorConfig(
+            variant=self.variant,
+            grid_cells=self.grid_cells,
+            vectorized=vectorized,
+        )
+        monitor = CRNNMonitor(config)
+        first = self.initial_batch(rng)
+        self._pos = {
+            u.oid: u.pos for u in first if isinstance(u, ObjectUpdate)
+        }
+        t0 = time.perf_counter()
+        monitor.process(first)
+        build_seconds = time.perf_counter() - t0
+        monitor.timers.reset()
+        total_moves = 0
+        t0 = time.perf_counter()
+        for _ in range(self.ticks):
+            batch = self.tick_batch(rng)
+            total_moves += len(batch)
+            monitor.process(batch)
+        wall_seconds = time.perf_counter() - t0
+        phases_ms = monitor.timers.snapshot_ms()
+        update_seconds = sum(
+            phases_ms.get(p, 0.0) for p in UPDATE_PHASES
+        ) / 1e3
+        counters = monitor.stats.snapshot()
+        del self._pos
+        return {
+            "vectorized": monitor.vectorized,
+            "build_seconds": round(build_seconds, 4),
+            "wall_seconds": round(wall_seconds, 4),
+            "update_seconds": round(update_seconds, 4),
+            "updates_per_sec": (
+                round(total_moves / update_seconds, 1) if update_seconds else None
+            ),
+            "total_moves": total_moves,
+            "phases_ms": {k: round(v, 2) for k, v in phases_ms.items()},
+            "counters": counters,
+        }
+
+    def measure(self, repeats: int = 3) -> dict:
+        """Best-of-``repeats`` per mode (alternating, so machine noise
+        hits both modes evenly); counters come from the kept run and are
+        identical across repeats anyway (the workload is seeded)."""
+        scalar = None
+        fast = None
+        for _ in range(repeats):
+            s = self.run(vectorized=False)
+            if scalar is None or s["update_seconds"] < scalar["update_seconds"]:
+                scalar = s
+            f = self.run(vectorized=True)
+            if fast is None or f["update_seconds"] < fast["update_seconds"]:
+                fast = f
+        speedup = (
+            scalar["update_seconds"] / fast["update_seconds"]
+            if fast["update_seconds"]
+            else None
+        )
+        return {
+            "name": self.name,
+            "n": self.n,
+            "queries": self.queries,
+            "ticks": self.ticks,
+            "moves_per_tick": self.moves_per_tick,
+            "seed": self.seed,
+            "grid_cells": self.grid_cells,
+            "variant": self.variant,
+            "scalar": scalar,
+            "vectorized": fast,
+            "update_phase_speedup": round(speedup, 2) if speedup else None,
+        }
+
+
+#: Tiny workload for CI smoke: seconds to run, deterministic counters.
+SMOKE = Workload("smoke-n2k", n=2_000, queries=20, ticks=4, moves_per_tick=500,
+                 grid_cells=64)
+
+#: The Table-1-style workloads the acceptance criteria are measured on.
+WORKLOADS = (
+    Workload("uniform-n10k", n=10_000, queries=50, ticks=4, moves_per_tick=2_500),
+    Workload("uniform-n50k", n=50_000, queries=50, ticks=3, moves_per_tick=12_500),
+)
+
+
+def run_suite(quick: bool = False) -> dict:
+    entries = []
+    smoke = SMOKE.measure()
+    print(f"[bench] {SMOKE.name}: speedup {smoke['update_phase_speedup']}x",
+          file=sys.stderr)
+    if not quick:
+        for wl in WORKLOADS:
+            entry = wl.measure()
+            entries.append(entry)
+            print(
+                f"[bench] {wl.name}: scalar {entry['scalar']['update_seconds']}s, "
+                f"vectorized {entry['vectorized']['update_seconds']}s, "
+                f"speedup {entry['update_phase_speedup']}x",
+                file=sys.stderr,
+            )
+    return {
+        "schema": "repro-bench",
+        "version": 1,
+        "smoke": {
+            **smoke,
+            "logical_counters": {
+                name: smoke["vectorized"]["counters"][name]
+                for name in LOGICAL_COUNTERS
+            },
+        },
+        "workloads": entries,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pr2.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the tiny smoke workload")
+    args = parser.parse_args(argv)
+    result = run_suite(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench] wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

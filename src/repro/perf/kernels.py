@@ -1,0 +1,297 @@
+"""Vectorized hot-path kernels over the grid's NumPy position store.
+
+Each kernel here is the fast twin of a scalar reference implementation
+elsewhere (named in each docstring) and must return **bit-identical**
+results — the differential test suites in ``tests/test_perf_equiv.py``
+enforce this on random and adversarial inputs.
+
+The trick that makes bit-identity possible: ``np.hypot`` does *not*
+round identically to ``math.hypot`` (they differ by 1 ulp on ~0.6% of
+inputs), but ``np.sqrt`` matches ``math.sqrt`` exactly and squared
+distances are computed with the same elementwise operations in both
+worlds.  So the kernels never compare NumPy-computed Euclidean
+distances directly: they select a tiny shortlist by *squared* distance
+with a relative guard band many orders of magnitude wider than the
+worst-case rounding disagreement (~4e-16 relative), then score the
+shortlist with scalar ``math.hypot`` — the exact function the reference
+implementation uses — and break ties by ``(distance, oid)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is part of the toolchain
+    np = None
+
+from repro.geometry.point import Point
+from repro.geometry.sector import _BOUNDARY_DIRS, NUM_SECTORS
+
+#: Relative guard band for squared-distance candidate selection.  Hypot
+#: vs sqrt-of-squares rounding differs by at most a few ulp (~4e-16
+#: relative); 1e-9 is astronomically safer while still shortlisting only
+#: genuinely-tied candidates.
+_BAND = 1.0 + 1e-9
+#: Acceptance margin for the ring-expansion termination: a best distance
+#: within a hair of the gathered radius triggers one more expansion
+#: instead of risking a missed neighbor just past a rounded row interval.
+_ACCEPT = 1.0 - 1e-9
+
+
+def sector_of_vector(q: Point, xs, ys):
+    """Vector twin of :func:`repro.geometry.sector.sector_of`.
+
+    Replicates the scalar cross-product chain exactly (same operations,
+    same first-match rule, same ``p == q -> 0`` convention), so every
+    element agrees with the scalar function bit-for-bit.
+    """
+    qx, qy = q
+    vx = xs - qx
+    vy = ys - qy
+    sides = [dx * vy - dy * vx for dx, dy in _BOUNDARY_DIRS]
+    out = np.full(len(vx), NUM_SECTORS - 1, dtype=np.int64)
+    assigned = np.zeros(len(vx), dtype=bool)
+    for i in range(NUM_SECTORS - 1):
+        hit = ~assigned & (sides[i] >= 0.0) & (sides[i + 1] < 0.0)
+        out[hit] = i
+        assigned |= hit
+    out[(vx == 0.0) & (vy == 0.0)] = 0
+    return out
+
+
+def _gather_slots(grid, center: Point, radius: float):
+    """CSR slot indices of objects in cells meeting the disk.
+
+    A grid row's cells are one contiguous flat-index interval, hence one
+    contiguous CSR interval — the gather is a handful of slices, no
+    per-cell work, and no ``Cell`` is materialized.
+    """
+    order = grid._csr_order
+    indptr = grid._csr_indptr
+    n = grid.n
+    pieces = []
+    for cy, cx0, cx1 in grid.circle_row_intervals(center, radius):
+        base = cy * n
+        start = indptr[base + cx0]
+        end = indptr[base + cx1 + 1]
+        if end > start:
+            pieces.append(order[start:end])
+    if not pieces:
+        return None
+    if len(pieces) == 1:
+        return pieces[0]
+    return np.concatenate(pieces)
+
+
+#: Below this many gathered candidates the exact scalar loop beats the
+#: NumPy pipeline's fixed per-call overhead; both produce the identical
+#: ``(distance, oid)`` argmin, so the cutoff is a pure perf knob.
+_SCALAR_CUTOFF = 24
+
+#: Expected object count inside the first gathered disk — the start
+#: radius is sized from the live density so typical searches finish in
+#: one round instead of crawling outward cell by cell.
+_TARGET_FIRST_RING = 16.0
+
+
+def _best_candidate(
+    grid,
+    idx,
+    q: Point,
+    excluded: frozenset[int] | set[int],
+    excl_arr,
+    max_dist: float,
+    sector: Optional[int],
+) -> Optional[tuple[float, int]]:
+    """Exact ``(distance, oid)`` argmin over the gathered slots.
+
+    Squared-distance selection with a guard band, then scalar
+    ``math.hypot`` on the shortlist — see the module docstring.
+    """
+    from repro.geometry.sector import sector_of
+
+    qx, qy = q
+    if len(idx) <= _SCALAR_CUTOFF:
+        best: Optional[tuple[float, int]] = None
+        oid_arr, px, py = grid._oid_arr, grid._px, grid._py
+        for i in idx:
+            oid = int(oid_arr[i])
+            if oid in excluded:
+                continue
+            x = float(px[i])
+            y = float(py[i])
+            if sector is not None and sector_of(q, (x, y)) != sector:
+                continue
+            d = math.hypot(x - qx, y - qy)
+            cand = (d, oid)
+            if best is None or cand < best:
+                best = cand
+        if best is not None and best[0] <= max_dist:
+            return best
+        return None
+    oids = grid._oid_arr[idx]
+    xs = grid._px[idx]
+    ys = grid._py[idx]
+    mask = np.ones(len(idx), dtype=bool)
+    if excl_arr is not None:
+        mask &= ~np.isin(oids, excl_arr)
+    if sector is not None:
+        mask &= sector_of_vector(q, xs, ys) == sector
+    dx = xs - qx
+    dy = ys - qy
+    d2 = dx * dx + dy * dy
+    d2 = np.where(mask, d2, np.inf)
+    m2 = d2.min()
+    if not math.isfinite(m2):
+        return None
+    shortlist = np.nonzero(d2 <= m2 * _BAND)[0]
+    best = None
+    for i in shortlist:
+        d = math.hypot(float(xs[i]) - qx, float(ys[i]) - qy)
+        cand = (d, int(oids[i]))
+        if best is None or cand < best:
+            best = cand
+    if best is not None and best[0] <= max_dist:
+        return best
+    return None
+
+
+def _nn_ring_expansion(
+    grid,
+    q: Point,
+    sector: Optional[int],
+    exclude: Iterable[int],
+    max_dist: float,
+) -> Optional[tuple[float, int]]:
+    excluded = exclude if isinstance(exclude, (set, frozenset)) else set(exclude)
+    excl_arr = (
+        np.fromiter(excluded, dtype=np.int64, count=len(excluded))
+        if excluded
+        else None
+    )
+    limit = max_dist * _BAND if math.isfinite(max_dist) else math.inf
+    cover_r = grid.bounds.maxdist(q) * _BAND
+    size = grid._size
+    r0 = max(grid._cell_w, grid._cell_h)
+    if size:
+        area = grid.bounds.width * grid.bounds.height
+        r0 = max(r0, math.sqrt(area * _TARGET_FIRST_RING / size))
+    r = min(r0, limit, cover_r)
+    while True:
+        if r >= cover_r:
+            # Full cover: every live slot, no row gathering needed.
+            idx = np.arange(size) if size else None
+        else:
+            idx = _gather_slots(grid, q, r)
+        best = None
+        if idx is not None:
+            best = _best_candidate(grid, idx, q, excluded, excl_arr, max_dist, sector)
+        if best is not None and best[0] <= r * _ACCEPT:
+            return best
+        if r >= cover_r or r >= limit:
+            # Everything outside the gathered cells is provably farther
+            # than the bound (or the whole grid was gathered).
+            return best
+        r = min(max(r * 3.0, grid._cell_w), limit, cover_r)
+
+
+def nn_k1_vector(
+    grid,
+    q: Point,
+    exclude: Iterable[int] = (),
+    max_dist: float = math.inf,
+) -> Optional[tuple[float, int]]:
+    """Vector twin of ``cpm._nn_search_scalar`` for ``k == 1``.
+
+    Ring expansion over the CSR bucketing: gather all objects in cells
+    meeting ``disk(q, r)``, take the exact ``(d, oid)`` argmin, accept
+    when it is provably inside the gathered region, else grow ``r``.
+    Requires ``grid.csr_fresh`` (the caller dispatches).
+    """
+    grid.stats.vector_nn_kernel_calls += 1
+    return _nn_ring_expansion(grid, q, None, exclude, max_dist)
+
+
+def constrained_nn_k1_vector(
+    grid,
+    q: Point,
+    sector: int,
+    exclude: Iterable[int] = (),
+    max_dist: float = math.inf,
+) -> Optional[tuple[float, int]]:
+    """Vector twin of ``cpm._constrained_knn_search_scalar`` for ``k == 1``.
+
+    Same ring expansion with an exact vectorized sector filter
+    (:func:`sector_of_vector`) applied to the gathered candidates.
+    """
+    grid.stats.vector_nn_kernel_calls += 1
+    return _nn_ring_expansion(grid, q, sector, exclude, max_dist)
+
+
+class EntrySnapshot:
+    """Array snapshot of the FUR-tree's leaf entries for one batch chunk.
+
+    Entries that mutate after the snapshot (lazy radius growth, record
+    replacement, insert/delete) are tracked separately by the store in a
+    dirty set; a containment prefilter hit is always re-verified against
+    the *current* entry with the exact scalar predicate, so staleness
+    can only cost a wasted check, never a wrong result.
+    """
+
+    __slots__ = ("oids", "xs", "ys", "radii")
+
+    def __init__(self, entries):
+        oids = []
+        xs = []
+        ys = []
+        radii = []
+        for e in entries:
+            oids.append(e.oid)
+            xs.append(e.pos[0])
+            ys.append(e.pos[1])
+            radii.append(e.radius)
+        self.oids = np.asarray(oids, dtype=np.int64)
+        self.xs = np.asarray(xs, dtype=np.float64)
+        self.ys = np.asarray(ys, dtype=np.float64)
+        self.radii = np.asarray(radii, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    def containment_candidates(self, p: Point) -> list[int]:
+        """Entry oids whose (guard-banded) circle may contain ``p``.
+
+        Squared-distance prefilter twin of the FUR-tree's
+        ``containment_search`` leaf predicate ``dist(p, pos) < radius``;
+        the guard band makes it a strict superset of the exact open test.
+        """
+        dx = self.xs - p[0]
+        dy = self.ys - p[1]
+        d2 = dx * dx + dy * dy
+        hits = np.nonzero(d2 <= (self.radii * _BAND) ** 2)[0]
+        return [int(self.oids[i]) for i in hits]
+
+    def batch_containment_candidates(self, pts: list[Point]) -> list[list[int]]:
+        """:meth:`containment_candidates` for many points in one pass.
+
+        One ``len(pts) × len(self)`` distance matrix replaces a NumPy
+        round-trip per point; row ``i`` of the result is exactly
+        ``containment_candidates(pts[i])``.
+        """
+        if not len(self.oids) or not pts:
+            return [[] for _ in pts]
+        xs = np.fromiter((p[0] for p in pts), dtype=np.float64, count=len(pts))
+        ys = np.fromiter((p[1] for p in pts), dtype=np.float64, count=len(pts))
+        dx = self.xs[None, :] - xs[:, None]
+        dy = self.ys[None, :] - ys[:, None]
+        d2 = dx * dx + dy * dy
+        hits = d2 <= ((self.radii * _BAND) ** 2)[None, :]
+        rows, cols = np.nonzero(hits)
+        splits = np.searchsorted(rows, np.arange(len(pts) + 1))
+        return [
+            [int(self.oids[j]) for j in cols[splits[i] : splits[i + 1]]]
+            for i in range(len(pts))
+        ]

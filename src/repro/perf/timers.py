@@ -1,0 +1,57 @@
+"""Lightweight wall-clock phase timers for the monitor's hot paths.
+
+A :class:`PhaseTimers` accumulates elapsed seconds per named phase; the
+monitor wraps the stages of :meth:`~repro.core.monitor.CRNNMonitor.process`
+with it so benchmarks can attribute batch time to grid maintenance, pie
+resolution, circ maintenance, and query recomputation.  The overhead is
+two ``perf_counter`` calls per phase per batch — negligible next to the
+work being timed, so the timers stay on unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class PhaseTimers:
+    """Accumulates wall-clock time and entry counts per named phase."""
+
+    __slots__ = ("totals", "counts")
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager: time one entry of phase ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually account ``seconds`` to phase ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def snapshot_ms(self) -> dict[str, float]:
+        """Accumulated time per phase, in milliseconds."""
+        return {name: total * 1e3 for name, total in sorted(self.totals.items())}
+
+    def total_seconds(self) -> float:
+        return sum(self.totals.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{name}={ms:.1f}ms" for name, ms in self.snapshot_ms().items()
+        )
+        return f"PhaseTimers({parts})"

@@ -50,6 +50,7 @@ def snapshot(monitor: "CRNNMonitor") -> dict[str, Any]:
             "fur_fanout": cfg.fur_fanout,
             "partial_insert_threshold": cfg.partial_insert_threshold,
             "guard_policy": cfg.guard_policy,
+            "vectorized": cfg.vectorized,
             "bounds": [cfg.bounds.xmin, cfg.bounds.ymin, cfg.bounds.xmax, cfg.bounds.ymax],
         },
         "objects": [
@@ -92,6 +93,7 @@ def restore(snap: dict[str, Any], verify: bool = True) -> "CRNNMonitor":
             variant=c["variant"],
             partial_insert_threshold=float(c["partial_insert_threshold"]),
             guard_policy=c.get("guard_policy", "strict"),
+            vectorized=bool(c.get("vectorized", True)),
         )
         monitor = CRNNMonitor(config)
         for oid, x, y in snap["objects"]:

@@ -1,0 +1,337 @@
+"""Differential equivalence suites for the vectorized kernels (ISSUE 2).
+
+Every vectorized hot-path kernel has a scalar reference twin; these
+hypothesis-driven suites prove the pairs bit-identical on random and
+adversarial inputs:
+
+* grid enumeration twins — circle and pie row-interval kernels must
+  yield the exact same ``(cy, cx0, cx1)`` triples / cell sequences;
+* ``sector_of_vector`` vs ``sector_of``, including points exactly on
+  sector boundary rays and the ``p == q`` convention;
+* the ring-expansion NN kernels vs the heap-based scalar searches,
+  including distance ties, cell-boundary coordinates, excluded ids and
+  tight ``max_dist`` bounds;
+* ``EntrySnapshot`` containment prefilters vs the exact FUR predicate
+  (superset property + batch/per-point agreement).
+
+Adversarial inputs deliberately target the classic failure modes of a
+vectorization: points on cell boundaries (truncation vs rounding),
+points on sector rays (cross-product sign flips), zero radii, and
+coincident/tied positions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.perf import HAVE_NUMPY
+
+if not HAVE_NUMPY:  # pragma: no cover - numpy is part of the toolchain
+    pytest.skip("NumPy unavailable: vectorized kernels inert", allow_module_level=True)
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.sector import _BOUNDARY_DIRS, NUM_SECTORS, sector_of
+from repro.grid.cpm import _constrained_knn_search_scalar, _nn_search_scalar
+from repro.grid.index import GridIndex
+from repro.perf.kernels import (
+    EntrySnapshot,
+    constrained_nn_k1_vector,
+    nn_k1_vector,
+    sector_of_vector,
+)
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+coords = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, width=64)
+points = st.tuples(coords, coords).map(lambda t: Point(*t))
+
+#: Coordinates that sit exactly on cell boundaries for a 16-cell grid
+#: over ``BOUNDS`` (cell width 62.5 is exact in binary floating point).
+cell_edge_coords = st.integers(min_value=0, max_value=16).map(lambda i: i * 62.5)
+cell_edge_points = st.tuples(cell_edge_coords, cell_edge_coords).map(
+    lambda t: Point(*t)
+)
+
+mixed_points = st.one_of(points, cell_edge_points)
+
+
+def _ray_point(q: Point, ray: int, dist: float) -> Point:
+    """A point (approximately) on sector boundary ray ``ray`` from ``q``."""
+    dx, dy = _BOUNDARY_DIRS[ray]
+    return Point(q[0] + dist * dx, q[1] + dist * dy)
+
+
+# ----------------------------------------------------------------------
+# sector_of_vector
+# ----------------------------------------------------------------------
+class TestSectorOfVector:
+    @settings(max_examples=60, deadline=None)
+    @given(q=points, pts=st.lists(mixed_points, min_size=1, max_size=30))
+    def test_matches_scalar_on_random_points(self, q, pts):
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        got = sector_of_vector(q, xs, ys).tolist()
+        want = [sector_of(q, p) for p in pts]
+        assert got == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        q=points,
+        ray=st.integers(min_value=0, max_value=6),
+        dist=st.floats(min_value=1e-6, max_value=500.0, allow_nan=False),
+    )
+    def test_matches_scalar_on_boundary_rays(self, q, ray, dist):
+        p = _ray_point(q, ray, dist)
+        got = sector_of_vector(q, np.array([p[0]]), np.array([p[1]]))
+        assert int(got[0]) == sector_of(q, p)
+
+    def test_coincident_point_is_sector_zero(self):
+        q = Point(123.25, 77.5)
+        got = sector_of_vector(q, np.array([q[0]]), np.array([q[1]]))
+        assert int(got[0]) == sector_of(q, q) == 0
+
+    def test_axis_aligned_rays_exact(self):
+        # The exact-constant boundary table makes horizontal/vertical
+        # rays exact; the vector twin must reproduce the same closed /
+        # open side decisions.
+        q = Point(500.0, 500.0)
+        pts = [
+            Point(600.0, 500.0),  # +x axis: on ray 0 -> sector 0
+            Point(400.0, 500.0),  # -x axis: on ray 3 -> sector 3
+            Point(500.0, 600.0),  # +y axis: inside sector 1
+            Point(500.0, 400.0),  # -y axis: inside sector 4
+        ]
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        assert sector_of_vector(q, xs, ys).tolist() == [sector_of(q, p) for p in pts]
+
+
+# ----------------------------------------------------------------------
+# Grid enumeration twins
+# ----------------------------------------------------------------------
+def _grid(cells: int = 16) -> GridIndex:
+    return GridIndex(BOUNDS, cells_per_axis=cells)
+
+
+radii = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-6, max_value=1500.0, allow_nan=False),
+    st.just(math.inf),
+)
+
+
+class TestRowIntervalTwins:
+    @settings(max_examples=60, deadline=None)
+    @given(center=mixed_points, radius=radii)
+    def test_circle_rows_identical(self, center, radius):
+        grid = _grid()
+        if math.isinf(radius):
+            radius = grid.bounds.maxdist(center)
+        prep = grid._prep_circle(center, radius)
+        if prep is None:
+            return
+        cy0, cy1 = prep
+        scalar = list(grid._circle_row_intervals_scalar(center, radius, cy0, cy1))
+        vector = list(grid._circle_row_intervals_vector(center, radius, cy0, cy1))
+        assert scalar == vector
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        q=mixed_points,
+        sector=st.integers(min_value=0, max_value=NUM_SECTORS - 1),
+        radius=radii,
+    )
+    def test_pie_rows_identical(self, q, sector, radius):
+        grid = _grid()
+        prep = grid._prep_pie(q, sector, radius)
+        if prep is None:
+            return
+        r, cy0, cy1, dirs, extremes, pad = prep
+        scalar = list(grid._pie_row_intervals_scalar(q, r, cy0, cy1, dirs, extremes, pad))
+        vector = list(grid._pie_row_intervals_vector(q, r, cy0, cy1, dirs, extremes, pad))
+        assert scalar == vector
+
+    @settings(max_examples=30, deadline=None)
+    @given(center=mixed_points, radius=radii)
+    def test_circle_cell_enumeration_identical(self, center, radius):
+        grid = _grid()
+        scalar = [(c.cx, c.cy) for c in grid._cells_intersecting_circle_scalar(center, radius)]
+        vector = [(c.cx, c.cy) for c in grid._cells_intersecting_circle_vector(center, radius)]
+        assert scalar == vector
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        q=mixed_points,
+        sector=st.integers(min_value=0, max_value=NUM_SECTORS - 1),
+        radius=radii,
+    )
+    def test_pie_cell_enumeration_identical(self, q, sector, radius):
+        grid = _grid()
+        scalar = [(c.cx, c.cy) for c in grid._cells_intersecting_pie_scalar(q, sector, radius)]
+        vector = [(c.cx, c.cy) for c in grid._cells_intersecting_pie_vector(q, sector, radius)]
+        assert scalar == vector
+
+
+# ----------------------------------------------------------------------
+# NN kernels
+# ----------------------------------------------------------------------
+def _populated_grid(pts: list[Point], cells: int = 16) -> GridIndex:
+    grid = _grid(cells)
+    for oid, p in enumerate(pts):
+        grid.insert_object(oid, p)
+    grid.ensure_csr()
+    return grid
+
+
+#: Object layouts that include coincident points (distance ties, which
+#: must be broken by oid identically in both kernels).
+object_lists = st.lists(mixed_points, min_size=0, max_size=40).flatmap(
+    lambda pts: st.just(pts + pts[:3])
+)
+
+max_dists = st.one_of(
+    st.just(math.inf),
+    st.floats(min_value=0.0, max_value=1500.0, allow_nan=False),
+)
+
+
+class TestNNKernelEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        pts=object_lists,
+        q=mixed_points,
+        max_dist=max_dists,
+        n_excl=st.integers(min_value=0, max_value=4),
+    )
+    def test_nn_k1_matches_scalar_heap(self, pts, q, max_dist, n_excl):
+        grid = _populated_grid(pts)
+        exclude = frozenset(range(n_excl))
+        want = _nn_search_scalar(grid, q, 1, exclude, max_dist)
+        got = nn_k1_vector(grid, q, exclude=exclude, max_dist=max_dist)
+        assert ([got] if got is not None else []) == want
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        pts=object_lists,
+        q=mixed_points,
+        sector=st.integers(min_value=0, max_value=NUM_SECTORS - 1),
+        max_dist=max_dists,
+        n_excl=st.integers(min_value=0, max_value=4),
+    )
+    def test_constrained_nn_k1_matches_scalar_heap(self, pts, q, sector, max_dist, n_excl):
+        grid = _populated_grid(pts)
+        exclude = frozenset(range(n_excl))
+        want = _constrained_knn_search_scalar(grid, q, sector, 1, exclude, max_dist)
+        got = constrained_nn_k1_vector(grid, q, sector, exclude=exclude, max_dist=max_dist)
+        assert ([got] if got is not None else []) == want
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        q=points,
+        dists=st.lists(
+            st.floats(min_value=1e-3, max_value=400.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        rays=st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=12),
+    )
+    def test_constrained_on_sector_ray_objects(self, q, dists, rays):
+        # Objects sitting (approximately) on the boundary rays are the
+        # worst case for the sector filter: a one-ulp disagreement
+        # between scalar and vector sector assignment would surface as a
+        # different constrained NN.
+        pts = [_ray_point(q, ray, d) for ray, d in zip(rays, dists)]
+        pts = [p for p in pts if BOUNDS.contains_point(p)]
+        if not pts:
+            return
+        grid = _populated_grid(pts)
+        for sector in range(NUM_SECTORS):
+            want = _constrained_knn_search_scalar(grid, q, sector, 1)
+            got = constrained_nn_k1_vector(grid, q, sector)
+            assert ([got] if got is not None else []) == want, f"sector {sector}"
+
+    def test_empty_grid_returns_none(self):
+        grid = _populated_grid([])
+        assert nn_k1_vector(grid, Point(10.0, 10.0)) is None
+        assert constrained_nn_k1_vector(grid, Point(10.0, 10.0), 2) is None
+
+    def test_max_dist_exactly_at_neighbor_distance(self):
+        # Both twins use a closed bound (d <= max_dist): an object at
+        # exactly max_dist is reported, one ulp past it is not.
+        grid = _populated_grid([Point(130.0, 100.0)])
+        q = Point(100.0, 100.0)
+        want = _nn_search_scalar(grid, q, 1, (), 30.0)
+        got = nn_k1_vector(grid, q, max_dist=30.0)
+        assert got == (30.0, 0) and [got] == want
+        assert nn_k1_vector(grid, q, max_dist=math.nextafter(30.0, 0.0)) is None
+
+    def test_large_random_grid_spot_check(self):
+        rng = random.Random(7)
+        pts = [
+            Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(800)
+        ]
+        grid = _populated_grid(pts, cells=20)
+        for _ in range(120):
+            q = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            assert nn_k1_vector(grid, q) == _nn_search_scalar(grid, q, 1)[0]
+            sector = rng.randrange(NUM_SECTORS)
+            want = _constrained_knn_search_scalar(grid, q, sector, 1)
+            got = constrained_nn_k1_vector(grid, q, sector)
+            assert ([got] if got is not None else []) == want
+
+
+# ----------------------------------------------------------------------
+# EntrySnapshot containment prefilter
+# ----------------------------------------------------------------------
+class _Entry:
+    __slots__ = ("oid", "pos", "radius")
+
+    def __init__(self, oid, pos, radius):
+        self.oid = oid
+        self.pos = pos
+        self.radius = radius
+
+
+entry_lists = st.lists(
+    st.tuples(points, st.floats(min_value=0.0, max_value=300.0, allow_nan=False)),
+    min_size=0,
+    max_size=25,
+).map(lambda raw: [_Entry(i, p, r) for i, (p, r) in enumerate(raw)])
+
+
+class TestEntrySnapshot:
+    @settings(max_examples=60, deadline=None)
+    @given(entries=entry_lists, pts=st.lists(points, min_size=0, max_size=15))
+    def test_batch_rows_equal_per_point_calls(self, entries, pts):
+        snap = EntrySnapshot(entries)
+        batch = snap.batch_containment_candidates(pts)
+        assert batch == [snap.containment_candidates(p) for p in pts]
+
+    @settings(max_examples=60, deadline=None)
+    @given(entries=entry_lists, p=points)
+    def test_prefilter_is_superset_of_exact_predicate(self, entries, p):
+        # The guard-banded squared-distance prefilter must never drop an
+        # entry the exact open predicate accepts (the store re-verifies
+        # hits exactly, so false positives are fine; false negatives
+        # would lose result changes).
+        snap = EntrySnapshot(entries)
+        cands = set(snap.containment_candidates(p))
+        for e in entries:
+            if math.hypot(p[0] - e.pos[0], p[1] - e.pos[1]) < e.radius:
+                assert e.oid in cands
+
+    def test_zero_radius_entries_never_match(self):
+        snap = EntrySnapshot([_Entry(0, Point(10.0, 10.0), 0.0)])
+        assert snap.containment_candidates(Point(10.0, 10.0)) == [0] or True
+        # The exact predicate is open (d < r), so a zero-radius circle
+        # contains nothing; prefilter may report the coincident point,
+        # but must report nothing for any other point.
+        assert snap.containment_candidates(Point(11.0, 10.0)) == []
