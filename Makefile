@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check smoke bench bench-check bench-paper experiments experiments-quick examples clean
+.PHONY: install test check smoke obs-smoke bench bench-check bench-paper experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,11 @@ check:
 
 smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.robustness.smoke
+
+# Observability end-to-end: counter parity obs-on/off, live Prometheus
+# scrape, snapshot schema, explain(qid), console line (what CI runs).
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.smoke --quick
 
 # Scalar-vs-vectorized perf suite; regenerates the checked-in baseline.
 bench:

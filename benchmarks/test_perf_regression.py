@@ -27,8 +27,9 @@ import pathlib
 
 import pytest
 
+from repro.obs.config import ObsConfig
 from repro.perf import HAVE_NUMPY
-from repro.perf.bench import LOGICAL_COUNTERS, SMOKE
+from repro.perf.bench import LOGICAL_COUNTERS, SMOKE, logical_subset
 
 BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
 
@@ -83,7 +84,7 @@ class TestBaselineFile:
 class TestSmokeRegression:
     def test_logical_counters_match_baseline_exactly(self, baseline, smoke_now):
         want = baseline["smoke"]["logical_counters"]
-        got = {k: smoke_now["vectorized"]["counters"][k] for k in LOGICAL_COUNTERS}
+        got = logical_subset(smoke_now["vectorized"]["counters"])
         assert got == want
 
     def test_scalar_and_vectorized_counters_agree_now(self, smoke_now):
@@ -100,3 +101,39 @@ class TestSmokeRegression:
             f"vectorized smoke speedup regressed: {now}x measured vs "
             f"{base}x in BENCH_pr2.json (>{MAX_SLOWDOWN:.0%} slowdown)"
         )
+
+
+class TestObservabilityOverhead:
+    """Same-machine overhead bounds for the observability layer.
+
+    The disabled path (``observability=None``, the default every bench
+    number is measured on) must stay effectively free; the fully
+    instrumented path (tracing unsampled into the memory ring) gets a
+    generous multiplier but must never change the logical counters.
+    """
+
+    def test_explicitly_disabled_matches_default(self, smoke_now):
+        off = SMOKE.run(vectorized=True, observability=ObsConfig(enabled=False))
+        assert logical_subset(off["counters"]) == logical_subset(
+            smoke_now["vectorized"]["counters"]
+        )
+        assert "obs" not in off
+
+    def test_enabled_overhead_bounded_and_counters_identical(self, smoke_now):
+        runs = [
+            SMOKE.run(
+                vectorized=True,
+                observability=ObsConfig(trace_sink="memory", ring_capacity=1024),
+            )
+            for _ in range(2)
+        ]
+        best = min(r["update_seconds"] for r in runs)
+        base = smoke_now["vectorized"]["update_seconds"]
+        assert best <= base * 3.0, (
+            f"observability overhead too high: {best}s instrumented vs "
+            f"{base}s disabled"
+        )
+        for run in runs:
+            assert logical_subset(run["counters"]) == logical_subset(
+                smoke_now["vectorized"]["counters"]
+            )

@@ -16,7 +16,10 @@ Public entry points:
 * :mod:`repro.bench` — the experiment harness reproducing the paper's
   figures;
 * :mod:`repro.robustness` — the resilience layer: ingestion guards,
-  fault injection, invariant auditing, checkpoint/recovery.
+  fault injection, invariant auditing, checkpoint/recovery;
+* :mod:`repro.obs` — the observability layer: structured tracing,
+  metrics registry with Prometheus/JSON exporters, per-query health
+  diagnostics (``monitor.explain(qid)``) and the live console summary.
 """
 
 from repro.core.baseline import TPLFURBaseline
@@ -29,6 +32,7 @@ from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.mobility.trace import Trace
 from repro.monitors.bichromatic import BichromaticRnnMonitor
+from repro.obs import ConsoleSummary, Observability, ObsConfig, ObsHTTPServer
 from repro.monitors.knn_monitor import KnnMonitor
 from repro.monitors.range_monitor import RangeMonitor
 from repro.monitors.rknn_monitor import RknnMonitor
@@ -67,5 +71,9 @@ __all__ = [
     "FaultSpec",
     "IngestionError",
     "IngestionGuard",
+    "ObsConfig",
+    "Observability",
+    "ObsHTTPServer",
+    "ConsoleSummary",
     "__version__",
 ]

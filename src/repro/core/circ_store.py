@@ -26,7 +26,10 @@ updated — no NN search.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.health import QueryHealthTracker
 
 from repro.core.events import ResultChange
 from repro.core.query_table import QueryTable
@@ -92,6 +95,10 @@ class CircStoreBase:
         self.qt = query_table
         self.stats = stats
         self.emit = emit
+        #: Per-query health tracker (:mod:`repro.obs.health`); ``None``
+        #: unless the monitor's observability diagnostics are enabled.
+        #: Purely additive accounting — never influences behaviour.
+        self.health: Optional["QueryHealthTracker"] = None
         self._records: dict[tuple[int, int], CircRecord] = {}
 
     # -- public record access ------------------------------------------
@@ -188,17 +195,25 @@ class CircStoreBase:
         excl.add(rec.cand)
         return excl
 
-    def _recompute_certificate(self, rec: CircRecord, cand_pos: Point) -> None:
+    def _recompute_certificate(
+        self, rec: CircRecord, cand_pos: Point, cause: str = "certificate_escaped"
+    ) -> None:
         """NN-search for a fresh certificate; flips RNN status as needed.
 
         Called when the previous certificate is gone (its object moved
         out far enough that the enlarged circle would cover the query,
-        or it was deleted).
+        or it was deleted); ``cause`` labels the event in the query's
+        health record.
         """
         self.stats.circ_nn_searches_triggered += 1
-        found = nearest_neighbor(
-            self.grid, cand_pos, exclude=self._exclusions(rec), max_dist=rec.d_q_cand
-        )
+        if self.health is not None:
+            self.health.record_certificate_recompute(rec.qid, cause)
+        with self.grid.tracer.span(
+            "circ.recompute_certificate", qid=rec.qid, sector=rec.sector
+        ):
+            found = nearest_neighbor(
+                self.grid, cand_pos, exclude=self._exclusions(rec), max_dist=rec.d_q_cand
+            )
         if found is not None and found[0] < rec.d_q_cand:
             nn_dist, nn = found
             self.set_circ(
@@ -360,11 +375,19 @@ class FurCircStore(CircStoreBase):
                     # Lazy-update: the certificate still holds; adjust
                     # the radius without any NN search.
                     self.stats.circ_lazy_radius_updates += 1
+                    if self.health is not None:
+                        self.health.record_lazy_deferral(rec.qid)
                     self._adjust_radius(rec, cand_pos, new_d)
                     continue
             # The enlarged circle would cover the query (or the
             # certificate object is gone): only now search for a new NN.
-            self._recompute_certificate(rec, cand_pos)
+            self._recompute_certificate(
+                rec,
+                cand_pos,
+                cause=(
+                    "certificate_escaped" if new_pos is not None else "certificate_deleted"
+                ),
+            )
 
     def _step2_entry(self, oid: int, new_pos: Point, entry: LeafEntry) -> None:
         """Shrink the circ-regions of one FUR entry that ``oid`` entered."""
@@ -378,6 +401,8 @@ class FurCircStore(CircStoreBase):
                 continue
             new_d = dist(new_pos, entry.pos)
             if new_d < rec.radius:
+                if self.health is not None:
+                    self.health.record_containment_shrink(rec.qid)
                 self.set_circ(
                     rec.qid, rec.sector, rec.cand, entry.pos,
                     rec.d_q_cand, oid, new_d,

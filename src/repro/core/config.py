@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.geometry.rect import Rect
+from repro.obs.config import ObsConfig
 
 #: Data space used throughout the paper's experiments (network-generator
 #: coordinates are scaled into it by the workload code).
@@ -60,6 +62,12 @@ class MonitorConfig:
     #: it exists for differential testing and benchmarking, and as an
     #: automatic fallback when NumPy is unavailable.
     vectorized: bool = True
+    #: Observability layer (:mod:`repro.obs`): structured tracing,
+    #: metrics registry + exporters, per-query health diagnostics.
+    #: ``None`` (the default) disables the layer entirely — the monitor
+    #: keeps the null tracer and records nothing; results and events
+    #: never depend on this field.
+    observability: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if self.variant not in _VALID_VARIANTS:
@@ -72,6 +80,11 @@ class MonitorConfig:
             raise ValueError(
                 f"guard_policy must be one of {GUARD_POLICIES}, got {self.guard_policy!r}"
             )
+
+    @property
+    def obs_enabled(self) -> bool:
+        """Whether the observability layer is switched on."""
+        return self.observability is not None and self.observability.enabled
 
     @property
     def eager_nn(self) -> bool:

@@ -21,7 +21,12 @@ Typical use::
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Union
+import time
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.config import ObsConfig
+    from repro.obs.explain import QueryDiagnostics
 
 from repro.core.circ_store import CircStoreBase, FurCircStore
 from repro.core.config import MonitorConfig
@@ -38,6 +43,7 @@ from repro.core.update_pie import (
     handle_update_pies,
     register_pie_cells,
 )
+from repro.obs.core import Observability
 from repro.perf import HAVE_NUMPY, PhaseTimers
 from repro.robustness.guard import IngestionGuard
 from repro.geometry.circle import Circle
@@ -56,10 +62,17 @@ class CRNNMonitor:
         self.stats = StatCounters()
         #: Wall-clock attribution of ``process()`` batches by stage.
         self.timers = PhaseTimers()
+        #: Observability facade (:mod:`repro.obs`): tracer, metrics
+        #: registry, per-query health.  Disabled (null tracer, no hooks)
+        #: unless ``config.observability`` switches it on.
+        self.obs = Observability(self.config.observability)
         #: Effective fast-path switch: the config flag gated on NumPy
         #: actually being importable (results never depend on it).
         self.vectorized = self.config.vectorized and HAVE_NUMPY
         self.grid = GridIndex(self.config.bounds, self.config.grid_cells, self.stats)
+        #: Searches dispatched through the grid emit spans to the same
+        #: tracer as the monitor's phases (null tracer when disabled).
+        self.grid.tracer = self.obs.tracer
         if not self.vectorized:
             # Pin every grid-level dispatch (enumeration twins, NN
             # kernels) to the scalar reference path as well, so a
@@ -97,6 +110,35 @@ class CRNNMonitor:
             )
         else:
             self.circ = GridCircStore(self.grid, self.qt, self.stats, self._on_result_change)
+        self.circ.health = self.obs.health
+        self.obs.attach(self)
+
+    @classmethod
+    def with_observability(
+        cls,
+        obs_config: Optional["ObsConfig"] = None,
+        config: Optional[MonitorConfig] = None,
+    ) -> "CRNNMonitor":
+        """A monitor with the observability layer switched on.
+
+        Convenience for the common quick-start::
+
+            monitor = CRNNMonitor.with_observability()
+            ...
+            print(monitor.explain(qid).to_dict())
+
+        ``obs_config`` defaults to a fully-enabled :class:`ObsConfig`
+        (unsampled tracing into the in-memory ring); ``config`` supplies
+        the remaining monitor knobs (its own ``observability`` field is
+        overridden).
+        """
+        from dataclasses import replace
+
+        from repro.obs.config import ObsConfig
+
+        base = config if config is not None else MonitorConfig()
+        obs = obs_config if obs_config is not None else ObsConfig()
+        return cls(replace(base, observability=obs))
 
     # ------------------------------------------------------------------
     # Results and events
@@ -116,6 +158,9 @@ class CRNNMonitor:
                 return  # still a result through another sector record
             counts.pop(change.oid, None)
             result.discard(change.oid)
+        health = self.obs.health
+        if health is not None:
+            health.record_result_change(change.qid, change.gained)
         if self._log_events:
             self._events.append(change)
 
@@ -235,20 +280,28 @@ class CRNNMonitor:
             self.circ.remove_circ(qid, sector)
         self._results.pop(qid, None)
         self._rnn_counts.pop(qid, None)
+        # A recompute (update_query) deregisters and re-adds the query;
+        # its health history must survive that round-trip.
+        if self.obs.health is not None and self._log_events:
+            self.obs.health.forget(qid)
         return True
 
-    def update_query(self, qid: int, new_pos: Point) -> None:
+    def update_query(self, qid: int, new_pos: Point, *, cause: str = "query_moved") -> None:
         """Move a query point.
 
         Following the paper (and [Yu et al. 05, Mouratidis et al. 05]),
         a moving query is re-computed at its new location rather than
         patched incrementally; the emitted events are the *net* result
-        difference.
+        difference.  ``cause`` labels the recomputation in the query's
+        health record (``"query_moved"``, ``"audit_repair"``,
+        ``"rebuild"``) — diagnostics only, never behaviour.
         """
         checked = self.guard.check_point(new_pos, f"query {qid} update")
         if checked is None:
             return
         self.stats.query_recomputations += 1
+        if self.obs.health is not None:
+            self.obs.health.record_recomputation(qid, cause)
         st = self.qt.get(qid)
         exclude = st.exclude
         before = frozenset(self._results.get(qid, ()))
@@ -286,11 +339,27 @@ class CRNNMonitor:
         is available as ``self.guard.last_effective`` — feed it to an
         oracle to keep it in lockstep with a faulty stream.
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._process_batch(updates)
+        t0 = time.perf_counter()
+        with obs.tracer.span("monitor.process") as sp:
+            events = self._process_batch(updates)
+            sp.set("updates", len(self.guard.last_effective))
+            sp.set("events", len(events))
+        obs.observe_batch(
+            time.perf_counter() - t0, len(self.guard.last_effective), len(events)
+        )
+        return events
+
+    def _process_batch(self, updates: Iterable[Update]) -> list[ResultChange]:
+        """The body of :meth:`process` (shared by both obs modes)."""
+        tracer = self.obs.tracer
         sanitized = self.guard.sanitize_batch(updates)
         mark = len(self._events)
         moves: list[tuple[int, Optional[Point], Optional[Point]]] = []
         query_updates: list[QueryUpdate] = []
-        with self.timers.phase("grid_moves"):
+        with tracer.span("monitor.grid_moves"), self.timers.phase("grid_moves"):
             if self.vectorized:
                 self._apply_grid_updates_bulk(sanitized, moves, query_updates)
             else:
@@ -316,19 +385,19 @@ class CRNNMonitor:
                 # bucketing stays fresh until the next batch's moves.
                 self.grid.ensure_csr()
         if moves:
-            with self.timers.phase("pies"):
+            with tracer.span("monitor.pies", moves=len(moves)), self.timers.phase("pies"):
                 if self.vectorized:
                     affected = build_affected_map_vector(self, moves)
                 else:
                     affected = build_affected_map(self, moves)
                 _resolve_affected(self, affected)
-            with self.timers.phase("circs"):
+            with tracer.span("monitor.circs", moves=len(moves)), self.timers.phase("circs"):
                 if self.vectorized:
                     self.circ.process_moves(moves)
                 else:
                     for oid, old_pos, new_pos in moves:
                         self.circ.handle_update(oid, old_pos, new_pos)
-        with self.timers.phase("queries"):
+        with tracer.span("monitor.queries", updates=len(query_updates)), self.timers.phase("queries"):
             for update in query_updates:
                 if update.pos is None:
                     self.remove_query(update.qid)
@@ -410,6 +479,20 @@ class CRNNMonitor:
                 )
         return MonitoringRegion(qid, pies, tuple(circs))
 
+    def explain(self, qid: int) -> "QueryDiagnostics":
+        """Structured per-query health report ("why is q17 expensive?").
+
+        Always includes the live monitoring-region structure (candidates,
+        circ radii vs. candidate-query distances, pie cell counts); the
+        behavioural counters (lazy-update deferrals, recompute causes,
+        staleness) additionally require
+        ``MonitorConfig(observability=ObsConfig(diagnostics=True))``.
+        See :func:`repro.obs.explain.explain_query`.
+        """
+        from repro.obs.explain import explain_query
+
+        return explain_query(self, qid)
+
     def object_count(self) -> int:
         return len(self.grid)
 
@@ -462,8 +545,9 @@ class CRNNMonitor:
         sets are preserved where unchanged; net differences are emitted
         as events.
         """
-        for qid in sorted(self.qt.ids()):
-            self.update_query(qid, self.qt.get(qid).pos)
+        with self.obs.tracer.span("monitor.rebuild", queries=len(self.qt)):
+            for qid in sorted(self.qt.ids()):
+                self.update_query(qid, self.qt.get(qid).pos, cause="rebuild")
 
     # ------------------------------------------------------------------
     # Checkpoint / recovery

@@ -87,7 +87,7 @@ class GridCircStore(CircStoreBase):
                 relevant = dist(old_pos, cand_pos) < rec.radius
             if relevant:
                 # Keep the region smallest: always a fresh NN search.
-                self._recompute_certificate(rec, cand_pos)
+                self._recompute_certificate(rec, cand_pos, cause="eager_refresh")
 
     # ------------------------------------------------------------------
     # Validation (used by tests)

@@ -141,6 +141,22 @@ def nn_search(
     search below is its reference twin.
     """
     grid.stats.nn_searches += 1
+    tracer = grid.tracer
+    if tracer.enabled:
+        with tracer.span("cpm.nn_search", k=k) as sp:
+            found = _nn_search_dispatch(grid, q, k, exclude, max_dist)
+            sp.set("found", len(found))
+            return found
+    return _nn_search_dispatch(grid, q, k, exclude, max_dist)
+
+
+def _nn_search_dispatch(
+    grid: GridIndex,
+    q: Point,
+    k: int,
+    exclude: Iterable[int],
+    max_dist: float,
+) -> list[tuple[float, int]]:
     if k == 1 and grid.csr_fresh and grid.vector_enabled:
         from repro.perf.kernels import nn_k1_vector
 
@@ -237,6 +253,23 @@ def constrained_knn_search(
     :func:`nn_search`.
     """
     grid.stats.constrained_nn_searches += 1
+    tracer = grid.tracer
+    if tracer.enabled:
+        with tracer.span("cpm.constrained_nn_search", sector=sector, k=k) as sp:
+            found = _constrained_dispatch(grid, q, sector, k, exclude, max_dist)
+            sp.set("found", len(found))
+            return found
+    return _constrained_dispatch(grid, q, sector, k, exclude, max_dist)
+
+
+def _constrained_dispatch(
+    grid: GridIndex,
+    q: Point,
+    sector: int,
+    k: int,
+    exclude: Iterable[int],
+    max_dist: float,
+) -> list[tuple[float, int]]:
     if k == 1 and grid.csr_fresh and grid.vector_enabled:
         from repro.perf.kernels import constrained_nn_k1_vector
 

@@ -28,6 +28,7 @@ import math
 from typing import Iterator, Optional
 
 from repro.core.stats import StatCounters
+from repro.obs.trace import NULL_TRACER
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.geometry.sector import sector_boundary_dirs
@@ -72,6 +73,10 @@ class GridIndex:
         self.bounds = bounds
         self.n = cells_per_axis
         self.stats = stats if stats is not None else StatCounters()
+        #: Span tracer shared with the owning monitor (the disabled
+        #: :data:`~repro.obs.trace.NULL_TRACER` unless observability is
+        #: on); NN searches and CSR rebuilds emit spans through it.
+        self.tracer = NULL_TRACER
         self._cell_w = bounds.width / cells_per_axis
         self._cell_h = bounds.height / cells_per_axis
         #: Lazily materialized cells, keyed by row-major flat index.
@@ -284,6 +289,12 @@ class GridIndex:
                 if old_pos != p:
                     moves.append((oid, old_pos, p))
             return moves
+        with self.tracer.span("grid.bulk_move", pairs=len(pairs)):
+            return self._bulk_move_vector(pairs)
+
+    def _bulk_move_vector(
+        self, pairs: list[tuple[int, Point]]
+    ) -> list[tuple[int, Point, Point]]:
         m = len(pairs)
         slots = _np.fromiter(
             (self._slot[oid] for oid, _ in pairs), _np.int64, count=m
@@ -368,15 +379,16 @@ class GridIndex:
         """
         if _np is None or self.csr_fresh:
             return
-        flats = self._flat_arr[: self._size]
-        self._csr_order = _np.argsort(flats, kind="stable")
-        counts = _np.bincount(flats, minlength=self.n * self.n)
-        indptr = _np.empty(self.n * self.n + 1, dtype=_np.int64)
-        indptr[0] = 0
-        _np.cumsum(counts, out=indptr[1:])
-        self._csr_indptr = indptr
-        self._csr_dirty = False
-        self.stats.csr_rebuilds += 1
+        with self.tracer.span("grid.csr_rebuild", objects=self._size):
+            flats = self._flat_arr[: self._size]
+            self._csr_order = _np.argsort(flats, kind="stable")
+            counts = _np.bincount(flats, minlength=self.n * self.n)
+            indptr = _np.empty(self.n * self.n + 1, dtype=_np.int64)
+            indptr[0] = 0
+            _np.cumsum(counts, out=indptr[1:])
+            self._csr_indptr = indptr
+            self._csr_dirty = False
+            self.stats.csr_rebuilds += 1
 
     # ------------------------------------------------------------------
     # Geometric cell enumerations

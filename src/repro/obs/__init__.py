@@ -1,0 +1,87 @@
+"""Observability subsystem: tracing, metrics, exporters, diagnostics.
+
+The layer threads structured telemetry through every other subsystem
+while staying strictly opt-in — a monitor built without
+``MonitorConfig(observability=ObsConfig(...))`` keeps the shared
+:data:`~repro.obs.trace.NULL_TRACER` and pays only a few predictable
+branch checks per batch (the measured bound is documented in
+DESIGN.md §8, and CI's bench gate enforces that the disabled path stays
+logically and temporally identical to a build without the layer).
+
+Modules:
+
+* :mod:`repro.obs.trace` — span tree, tracer, ring-buffer/JSONL sinks;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms registry and the
+  Prometheus text renderer;
+* :mod:`repro.obs.core` — the :class:`Observability` facade a monitor
+  owns (adapters re-homing ``StatCounters``/``PhaseTimers`` onto the
+  registry);
+* :mod:`repro.obs.export` — HTTP scrape endpoint, exposition-format
+  parser, snapshot schema validation;
+* :mod:`repro.obs.explain` — ``monitor.explain(qid)`` per-query health
+  reports;
+* :mod:`repro.obs.console` — rate-limited live terminal summary;
+* :mod:`repro.obs.logutil` — rate-limited logging used by
+  :mod:`repro.robustness`;
+* :mod:`repro.obs.smoke` — the CI ``obs-smoke`` job
+  (``python -m repro.obs.smoke``).
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.console import ConsoleSummary
+from repro.obs.core import Observability
+from repro.obs.explain import QueryDiagnostics, SectorDiagnostics, explain_query
+from repro.obs.export import (
+    ObsHTTPServer,
+    PrometheusParseError,
+    SnapshotSchemaError,
+    parse_prometheus_text,
+    validate_snapshot,
+)
+from repro.obs.health import QueryHealth, QueryHealthTracker
+from repro.obs.logutil import RateLimitedLogger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    build_tree,
+)
+
+__all__ = [
+    "ObsConfig",
+    "Observability",
+    "ConsoleSummary",
+    "QueryDiagnostics",
+    "SectorDiagnostics",
+    "explain_query",
+    "ObsHTTPServer",
+    "PrometheusParseError",
+    "SnapshotSchemaError",
+    "parse_prometheus_text",
+    "validate_snapshot",
+    "QueryHealth",
+    "QueryHealthTracker",
+    "RateLimitedLogger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+    "InMemorySink",
+    "JsonlSink",
+    "NullSink",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "build_tree",
+]

@@ -1,0 +1,110 @@
+"""Per-query health accounting behind ``CRNNMonitor.explain()``.
+
+The flat :class:`~repro.core.stats.StatCounters` answer "how much work
+did the monitor do"; this tracker answers "which *query* caused it".
+The circ-store and monitor hot paths call the ``record_*`` hooks only
+when observability diagnostics are enabled, so a plain monitor pays a
+single ``is None`` check per event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Optional
+
+__all__ = ["QueryHealth", "QueryHealthTracker"]
+
+#: Recompute causes recorded by the monitor / circ-store hooks.
+CAUSE_QUERY_MOVED = "query_moved"
+CAUSE_CERT_ESCAPED = "certificate_escaped"  # certificate moved past the query distance
+CAUSE_CERT_DELETED = "certificate_deleted"
+CAUSE_AUDIT_REPAIR = "audit_repair"
+CAUSE_REBUILD = "rebuild"
+
+
+@dataclass
+class QueryHealth:
+    """Lifetime cost/behaviour counters of one registered query."""
+
+    qid: int
+    #: Batch index at which the query was (last) registered.
+    registered_batch: int = 0
+    #: Certificate moves absorbed by the lazy-update optimisation
+    #: (radius adjusted, NN search skipped) across the query's circs.
+    lazy_deferrals: int = 0
+    #: Certificate recomputes (the NN searches lazy-update could not
+    #: avoid), by cause.
+    certificate_recomputes: int = 0
+    recompute_causes: dict[str, int] = field(default_factory=dict)
+    #: Circ-regions shrunk because an object entered them (step 2).
+    containment_shrinks: int = 0
+    #: Full from-scratch recomputations (query moved, audit repair,
+    #: rebuild).
+    recomputations: int = 0
+    result_gains: int = 0
+    result_losses: int = 0
+    last_recompute_cause: Optional[str] = None
+    last_recompute_batch: Optional[int] = None
+    last_result_change_batch: Optional[int] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+class QueryHealthTracker:
+    """Registry of :class:`QueryHealth`, keyed by query id."""
+
+    def __init__(self) -> None:
+        self._health: dict[int, QueryHealth] = {}
+        #: ``process()`` batches observed (the tracker's clock; staleness
+        #: in ``explain`` reports is measured in these ticks).
+        self.batch = 0
+
+    # -- clock ----------------------------------------------------------
+    def on_batch(self) -> None:
+        self.batch += 1
+
+    # -- lifecycle ------------------------------------------------------
+    def _q(self, qid: int) -> QueryHealth:
+        h = self._health.get(qid)
+        if h is None:
+            h = self._health[qid] = QueryHealth(qid, registered_batch=self.batch)
+        return h
+
+    def forget(self, qid: int) -> None:
+        self._health.pop(qid, None)
+
+    def get(self, qid: int) -> Optional[QueryHealth]:
+        return self._health.get(qid)
+
+    def all(self) -> dict[int, QueryHealth]:
+        return dict(self._health)
+
+    # -- event hooks ----------------------------------------------------
+    def record_lazy_deferral(self, qid: int) -> None:
+        self._q(qid).lazy_deferrals += 1
+
+    def record_certificate_recompute(self, qid: int, cause: str) -> None:
+        h = self._q(qid)
+        h.certificate_recomputes += 1
+        h.recompute_causes[cause] = h.recompute_causes.get(cause, 0) + 1
+        h.last_recompute_cause = cause
+        h.last_recompute_batch = self.batch
+
+    def record_containment_shrink(self, qid: int) -> None:
+        self._q(qid).containment_shrinks += 1
+
+    def record_recomputation(self, qid: int, cause: str) -> None:
+        h = self._q(qid)
+        h.recomputations += 1
+        h.recompute_causes[cause] = h.recompute_causes.get(cause, 0) + 1
+        h.last_recompute_cause = cause
+        h.last_recompute_batch = self.batch
+
+    def record_result_change(self, qid: int, gained: bool) -> None:
+        h = self._q(qid)
+        if gained:
+            h.result_gains += 1
+        else:
+            h.result_losses += 1
+        h.last_result_change_batch = self.batch

@@ -1,0 +1,71 @@
+"""Rate-limited logging for high-frequency operational events.
+
+A monitor ingesting a dirty stream can hit thousands of guard
+violations per second; logging each one would drown the process in I/O.
+:class:`RateLimitedLogger` wraps a standard :class:`logging.Logger` and,
+per *key* (an event class like ``"guard.dropped"``), logs the first
+``burst`` occurrences and then only every ``every``-th one, annotated
+with the running occurrence count so nothing is invisible — only
+decimated.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+__all__ = ["RateLimitedLogger"]
+
+
+class RateLimitedLogger:
+    """Per-key rate limiting in front of a :class:`logging.Logger`."""
+
+    def __init__(self, logger: logging.Logger, burst: int = 5, every: int = 1000):
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.logger = logger
+        self.burst = burst
+        self.every = every
+        self._counts: dict[str, int] = {}
+
+    def log(self, level: int, key: str, msg: str, *args: Any) -> None:
+        """Log ``msg % args`` under ``key`` if the key's budget allows.
+
+        Cheap when the logger level filters the record out entirely.
+        """
+        if not self.logger.isEnabledFor(level):
+            return
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if count <= self.burst:
+            self.logger.log(level, msg, *args)
+        elif count % self.every == 0:
+            self.logger.log(level, msg + " (occurrence %d; 1-in-%d logging)",
+                            *args, count, self.every)
+
+    def suppressed(self, key: str) -> int:
+        """Occurrences of ``key`` that were *not* logged."""
+        count = self._counts.get(key, 0)
+        if count <= self.burst:
+            return 0
+        over = count - self.burst
+        return over - over // self.every
+
+    def counts(self) -> dict[str, int]:
+        """Total occurrences seen per key (logged or not)."""
+        return dict(self._counts)
+
+    # -- level conveniences --------------------------------------------
+    def debug(self, key: str, msg: str, *args: Any) -> None:
+        self.log(logging.DEBUG, key, msg, *args)
+
+    def info(self, key: str, msg: str, *args: Any) -> None:
+        self.log(logging.INFO, key, msg, *args)
+
+    def warning(self, key: str, msg: str, *args: Any) -> None:
+        self.log(logging.WARNING, key, msg, *args)
+
+    def error(self, key: str, msg: str, *args: Any) -> None:
+        self.log(logging.ERROR, key, msg, *args)

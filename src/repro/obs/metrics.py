@@ -1,0 +1,357 @@
+"""Metrics registry: named counters, gauges, and bucketed histograms.
+
+The registry is the single naming authority for everything the monitor
+exposes.  Metric names follow the Prometheus conventions (snake_case,
+``crnn_`` prefix, ``_total`` suffix on counters, base-unit ``_seconds``
+histograms); label sets distinguish series of one family (e.g.
+``crnn_phase_seconds_total{phase="pies"}``).
+
+Histograms are fixed-bucket (HDR-style): ``observe()`` is O(#buckets)
+in the worst case and allocation-free, and quantiles (p50/p95/p99) are
+estimated by linear interpolation inside the winning bucket — the usual
+Prometheus ``histogram_quantile`` semantics, computed locally so the
+console summary and ``explain`` paths need no scrape round-trip.
+
+Existing instrumentation (:class:`~repro.core.stats.StatCounters`,
+:class:`~repro.perf.timers.PhaseTimers`) is *re-homed* onto the registry
+via collector callbacks (:meth:`MetricsRegistry.register_collector`):
+the structures keep their cheap plain-int/float hot paths and the
+registry pulls their current values only at collection time (render,
+snapshot, scrape), so observability adds zero per-operation cost to
+them.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CollectedFamily",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets for second-valued latencies (500µs .. 10s).
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labels(labelnames: Sequence[str]) -> tuple[str, ...]:
+    for ln in labelnames:
+        if not _LABEL_RE.match(ln):
+            raise ValueError(f"invalid label name {ln!r}")
+    return tuple(labelnames)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets; an
+    implicit ``+Inf`` bucket completes the partition.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bounds must be non-empty and strictly increasing")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (linear interpolation in-bucket).
+
+        Returns ``nan`` on an empty histogram; values in the ``+Inf``
+        bucket clamp to the largest finite bound.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.bounds):
+            in_bucket = self.bucket_counts[i]
+            if cumulative + in_bucket >= rank and in_bucket > 0:
+                frac = (rank - cumulative) / in_bucket
+                return lower + (bound - lower) * min(max(frac, 0.0), 1.0)
+            cumulative += in_bucket
+            lower = bound
+        return self.bounds[-1]
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe summary with the standard percentiles."""
+        out: dict[str, Any] = {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                ("+Inf" if i == len(self.bounds) else repr(self.bounds[i])): c
+                for i, c in enumerate(self.bucket_counts)
+            },
+        }
+        for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            v = self.quantile(q)
+            out[label] = None if math.isnan(v) else v
+        return out
+
+
+class _Family:
+    """One named metric family; children are distinguished by labels."""
+
+    __slots__ = ("name", "help", "kind", "labelnames", "_children", "_factory")
+
+    def __init__(self, name: str, help_text: str, kind: str,
+                 labelnames: tuple[str, ...], factory: Callable[[], Any]):
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = labelnames
+        self._children: dict[tuple[str, ...], Any] = {}
+        self._factory = factory
+
+    def labels(self, *values: str) -> Any:
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, got {values!r}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._factory()
+        return child
+
+    def children(self) -> Iterable[tuple[tuple[str, ...], Any]]:
+        return self._children.items()
+
+    # Unlabelled families proxy straight to their single child.
+    def _solo(self) -> Any:
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    def quantile(self, q: float) -> float:
+        return self._solo().quantile(q)
+
+
+class CollectedFamily:
+    """A metric family produced by a pull collector at collection time."""
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 samples: list[tuple[dict[str, str], float]]):
+        self.name = _check_name(name)
+        if kind not in ("counter", "gauge"):
+            raise ValueError("collectors may only produce counters and gauges")
+        self.kind = kind
+        self.help = help_text
+        self.samples = samples
+
+
+class MetricsRegistry:
+    """Owns metric families and pull collectors; renders/snapshots them."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[], Iterable[CollectedFamily]]] = []
+
+    # -- registration ---------------------------------------------------
+    def _register(self, name: str, help_text: str, kind: str,
+                  labelnames: Sequence[str], factory: Callable[[], Any]) -> _Family:
+        _check_name(name)
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.labelnames != tuple(labelnames):
+                raise ValueError(f"metric {name!r} re-registered with a different shape")
+            return existing
+        family = _Family(name, help_text, kind, _check_labels(labelnames), factory)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> _Family:
+        return self._register(name, help_text, "counter", labelnames, Counter)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> _Family:
+        return self._register(name, help_text, "gauge", labelnames, Gauge)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> _Family:
+        return self._register(
+            name, help_text, "histogram", labelnames, lambda: Histogram(buckets)
+        )
+
+    def register_collector(
+        self, fn: Callable[[], Iterable[CollectedFamily]]
+    ) -> None:
+        """Add a pull collector invoked at every render/snapshot."""
+        self._collectors.append(fn)
+
+    def get(self, name: str) -> Optional[_Family]:
+        return self._families.get(name)
+
+    # -- collection -----------------------------------------------------
+    def collect(self) -> list[tuple[str, str, str, list[tuple[dict[str, str], Any]]]]:
+        """Everything the registry knows: owned families then collectors.
+
+        Returns ``(name, kind, help, [(labels, metric_or_value), ...])``
+        tuples; owned families carry live metric objects, collected ones
+        plain float values.
+        """
+        out: list[tuple[str, str, str, list[tuple[dict[str, str], Any]]]] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples = [
+                (dict(zip(family.labelnames, key)), child)
+                for key, child in sorted(family.children())
+            ]
+            out.append((name, family.kind, family.help, samples))
+        for collector in self._collectors:
+            for cf in collector():
+                out.append((cf.name, cf.kind, cf.help, list(cf.samples)))
+        return out
+
+    # -- exports --------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe snapshot of every metric (see DESIGN.md §8)."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict[str, Any]] = {}
+        for name, kind, _help, samples in self.collect():
+            for labels, metric in samples:
+                key = _series_key(name, labels)
+                if kind == "histogram":
+                    histograms[key] = metric.snapshot()
+                elif kind == "counter":
+                    counters[key] = metric if isinstance(metric, float) else metric.value
+                else:
+                    gauges[key] = metric if isinstance(metric, float) else metric.value
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def _series_key(name: str, labels: dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (v0.0.4)."""
+    lines: list[str] = []
+    for name, kind, help_text, samples in registry.collect():
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, metric in samples:
+            if kind == "histogram":
+                cumulative = 0
+                for i, bound in enumerate(metric.bounds):
+                    cumulative += metric.bucket_counts[i]
+                    le = {**labels, "le": _format_value(bound)}
+                    lines.append(f"{_series_key(name + '_bucket', le)} {cumulative}")
+                cumulative += metric.bucket_counts[-1]
+                le = {**labels, "le": "+Inf"}
+                lines.append(f"{_series_key(name + '_bucket', le)} {cumulative}")
+                lines.append(f"{_series_key(name + '_sum', labels)} {_format_value(metric.sum)}")
+                lines.append(f"{_series_key(name + '_count', labels)} {metric.count}")
+            else:
+                value = metric if isinstance(metric, float) else metric.value
+                lines.append(f"{_series_key(name, labels)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,331 @@
+"""Structured tracing core: spans, the tracer, and span sinks.
+
+A *span* is one timed, named, attributed piece of work; spans nest, and
+the spans of one ``CRNNMonitor.process()`` batch form a tree rooted at
+``monitor.process``.  The tracer is deliberately minimal — synchronous,
+single-threaded (like the monitor itself), with integer trace/span ids —
+because it sits on hot paths: when tracing is disabled ``span()`` is one
+attribute check and returns a shared no-op context manager, and when a
+trace is not sampled the whole subtree collapses to the same no-op.
+
+Finished spans are *emitted post-order* (a parent is emitted after its
+children) to a pluggable :class:`SpanSink`:
+
+* :class:`InMemorySink` — bounded ring buffer; overflow evicts the
+  oldest span and increments :attr:`~InMemorySink.dropped` (never grows
+  without bound, never fails);
+* :class:`JsonlSink` — one JSON object per span appended to a file;
+* :class:`NullSink` — discard (spans still carry timing for the
+  enclosing metrics).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "Span",
+    "SpanSink",
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+    "Tracer",
+    "NULL_TRACER",
+    "build_tree",
+]
+
+
+class Span:
+    """One finished-or-running span of a trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "attrs", "start", "end", "error")
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        attrs: Optional[dict[str, Any]] = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+        self.start = 0.0
+        self.end = 0.0
+        self.error: Optional[str] = None
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute."""
+        self.attrs[key] = value
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still running)."""
+        return max(self.end - self.start, 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe record of the span."""
+        out: dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name} t{self.trace_id}/s{self.span_id}"
+            f" parent={self.parent_id} {self.duration * 1e3:.2f}ms)"
+        )
+
+
+class SpanSink:
+    """Receives finished spans; subclasses override :meth:`emit`."""
+
+    def emit(self, span: Span) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources (no-op by default)."""
+
+
+class NullSink(SpanSink):
+    """Discards every span."""
+
+    def emit(self, span: Span) -> None:
+        pass
+
+
+class InMemorySink(SpanSink):
+    """Bounded ring buffer of the most recent finished spans.
+
+    When full, appending evicts the oldest span and increments
+    :attr:`dropped` — a long-running monitor can trace forever in
+    constant memory, and the drop count makes the truncation visible.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._buf: deque[Span] = deque(maxlen=capacity)
+        self.emitted = 0
+        self.dropped = 0
+
+    def emit(self, span: Span) -> None:
+        if len(self._buf) == self.capacity:
+            self.dropped += 1
+        self._buf.append(span)
+        self.emitted += 1
+
+    def spans(self) -> list[Span]:
+        """The buffered spans, oldest first."""
+        return list(self._buf)
+
+    def clear(self) -> None:
+        self._buf.clear()
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class JsonlSink(SpanSink):
+    """Appends one JSON object per finished span to a file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+        self.emitted = 0
+
+    def emit(self, span: Span) -> None:
+        self._fh.write(json.dumps(span.to_dict(), sort_keys=True))
+        self._fh.write("\n")
+        self.emitted += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+class _NoopSpan:
+    """Shared do-nothing span/context-manager (disabled or unsampled)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class _SuppressCtx:
+    """Root-span placeholder of an *unsampled* trace.
+
+    Marks the tracer as suppressing for the duration of the would-be
+    root span, so every nested ``span()`` call short-circuits to the
+    shared no-op instead of starting a fresh trace mid-batch.
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def __enter__(self) -> _NoopSpan:
+        self._tracer._suppressing = True
+        return _NOOP
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._suppressing = False
+        return False
+
+
+class _SpanCtx:
+    """Context manager that opens/closes one recorded span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._span.start = time.perf_counter()
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end = time.perf_counter()
+        if exc_type is not None:
+            span.error = f"{exc_type.__name__}: {exc}"
+        stack = self._tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._tracer.sink.emit(span)
+        return False
+
+
+class Tracer:
+    """Creates nested spans and emits the finished ones to a sink.
+
+    Sampling is decided once per *trace* (per root span) and is
+    deterministic: with ``sample_rate=r``, trace ``i`` is recorded iff
+    ``floor(i*r) > floor((i-1)*r)`` — i.e. every ``1/r``-th trace, with
+    no RNG, so identical update streams record identical traces.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[SpanSink] = None,
+        sample_rate: float = 1.0,
+        enabled: bool = True,
+    ):
+        if not (0.0 <= sample_rate <= 1.0):
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.enabled = enabled
+        self.sink: SpanSink = sink if sink is not None else InMemorySink()
+        self.sample_rate = sample_rate
+        self._stack: list[Span] = []
+        self._trace_seq = 0  # root spans started, sampled or not
+        self._span_seq = 0
+        self._trace_id = 0  # id of the trace currently being recorded
+        self._suppressing = False
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """Open a span named ``name``; use as a context manager.
+
+        The ``with`` target is the live :class:`Span` (attach attributes
+        via :meth:`Span.set`) or a shared no-op when tracing is disabled
+        or the current trace is unsampled.
+        """
+        if not self.enabled or self._suppressing:
+            return _NOOP
+        if not self._stack:
+            self._trace_seq += 1
+            if not self._sampled(self._trace_seq):
+                return _SuppressCtx(self)
+            self._trace_id = self._trace_seq
+        self._span_seq += 1
+        parent = self._stack[-1].span_id if self._stack else None
+        return _SpanCtx(self, Span(self._trace_id, self._span_seq, parent, name, attrs or None))
+
+    def _sampled(self, seq: int) -> bool:
+        r = self.sample_rate
+        if r >= 1.0:
+            return True
+        if r <= 0.0:
+            return False
+        return int(seq * r) > int((seq - 1) * r)
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open recorded span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def traces_started(self) -> int:
+        return self._trace_seq
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+#: Shared disabled tracer: the default wiring of every structure, so the
+#: hot paths' ``tracer.enabled`` checks never need a None guard.
+NULL_TRACER = Tracer(sink=NullSink(), enabled=False)
+
+
+def build_tree(spans: Iterable[Span]) -> list[dict[str, Any]]:
+    """Reconstruct span trees from a flat span list (diagnostics/tests).
+
+    Returns one nested ``{"name", "span", "children": [...]}`` dict per
+    root span, children ordered by span id (creation order).
+    """
+    by_id: dict[tuple[int, int], dict[str, Any]] = {}
+    roots: list[dict[str, Any]] = []
+    ordered = sorted(spans, key=lambda s: (s.trace_id, s.span_id))
+    for span in ordered:
+        by_id[(span.trace_id, span.span_id)] = {
+            "name": span.name,
+            "span": span,
+            "children": [],
+        }
+    for span in ordered:
+        node = by_id[(span.trace_id, span.span_id)]
+        parent = (
+            by_id.get((span.trace_id, span.parent_id))
+            if span.parent_id is not None
+            else None
+        )
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots

@@ -27,11 +27,13 @@ import json
 import random
 import sys
 import time
+from typing import Mapping, Optional
 
 from repro.core.config import MonitorConfig
 from repro.core.events import ObjectUpdate, QueryUpdate
 from repro.core.monitor import CRNNMonitor
 from repro.geometry.point import Point
+from repro.obs.config import ObsConfig
 
 #: Counters that are pure-Python deterministic for a given workload seed
 #: (no dependency on NumPy being present, on the vectorized flag, or on
@@ -53,6 +55,17 @@ LOGICAL_COUNTERS = (
 #: criterion is measured on): everything ``process()`` does for object
 #: moves — grid maintenance, pie resolution, circ maintenance.
 UPDATE_PHASES = ("grid_moves", "pies", "circs")
+
+
+def logical_subset(counters: Mapping[str, int]) -> dict[str, int]:
+    """The :data:`LOGICAL_COUNTERS` slice of a counters snapshot.
+
+    The one blessed way to extract the machine-independent counter set
+    from a :meth:`~repro.core.stats.StatCounters.snapshot` dict — the
+    bench output, the regression gate, and the obs smoke all compare
+    exactly this slice.
+    """
+    return {name: counters[name] for name in LOGICAL_COUNTERS}
 
 
 class Workload:
@@ -110,12 +123,13 @@ class Workload:
             batch.append(ObjectUpdate(oid, p))
         return batch
 
-    def run(self, vectorized: bool) -> dict:
+    def run(self, vectorized: bool, observability: Optional[ObsConfig] = None) -> dict:
         rng = random.Random(self.seed)
         config = MonitorConfig(
             variant=self.variant,
             grid_cells=self.grid_cells,
             vectorized=vectorized,
+            observability=observability,
         )
         monitor = CRNNMonitor(config)
         first = self.initial_batch(rng)
@@ -138,9 +152,12 @@ class Workload:
             phases_ms.get(p, 0.0) for p in UPDATE_PHASES
         ) / 1e3
         counters = monitor.stats.snapshot()
+        obs_snapshot = monitor.obs.snapshot() if monitor.obs.enabled else None
+        monitor.obs.close()
         del self._pos
         return {
             "vectorized": monitor.vectorized,
+            **({"obs": obs_snapshot} if obs_snapshot is not None else {}),
             "build_seconds": round(build_seconds, 4),
             "wall_seconds": round(wall_seconds, 4),
             "update_seconds": round(update_seconds, 4),
@@ -196,11 +213,45 @@ WORKLOADS = (
 )
 
 
+def measure_observability(smoke: dict) -> dict:
+    """One obs-enabled smoke run, compared against the obs-off ``smoke``.
+
+    Returns the overhead ratio of the fully-instrumented update phase
+    (tracing on, unsampled, memory sink) over the best obs-off run, a
+    logical-counter parity flag (observability must never change what
+    the monitor computes), and the final obs JSON snapshot.
+    """
+    obs_run = SMOKE.run(
+        vectorized=True,
+        observability=ObsConfig(trace_sink="memory", ring_capacity=1024),
+    )
+    base_seconds = smoke["vectorized"]["update_seconds"]
+    overhead = (
+        obs_run["update_seconds"] / base_seconds if base_seconds else None
+    )
+    return {
+        "workload": SMOKE.name,
+        "update_seconds": obs_run["update_seconds"],
+        "overhead_vs_disabled": round(overhead, 3) if overhead else None,
+        "logical_counters_match": (
+            logical_subset(obs_run["counters"])
+            == logical_subset(smoke["vectorized"]["counters"])
+        ),
+        "snapshot": obs_run["obs"],
+    }
+
+
 def run_suite(quick: bool = False) -> dict:
     entries = []
     smoke = SMOKE.measure()
     print(f"[bench] {SMOKE.name}: speedup {smoke['update_phase_speedup']}x",
           file=sys.stderr)
+    obs_section = measure_observability(smoke)
+    print(
+        f"[bench] observability: {obs_section['overhead_vs_disabled']}x overhead, "
+        f"counters match: {obs_section['logical_counters_match']}",
+        file=sys.stderr,
+    )
     if not quick:
         for wl in WORKLOADS:
             entry = wl.measure()
@@ -216,11 +267,9 @@ def run_suite(quick: bool = False) -> dict:
         "version": 1,
         "smoke": {
             **smoke,
-            "logical_counters": {
-                name: smoke["vectorized"]["counters"][name]
-                for name in LOGICAL_COUNTERS
-            },
+            "logical_counters": logical_subset(smoke["vectorized"]["counters"]),
         },
+        "observability": obs_section,
         "workloads": entries,
     }
 

@@ -3,9 +3,24 @@
 A :class:`PhaseTimers` accumulates elapsed seconds per named phase; the
 monitor wraps the stages of :meth:`~repro.core.monitor.CRNNMonitor.process`
 with it so benchmarks can attribute batch time to grid maintenance, pie
-resolution, circ maintenance, and query recomputation.  The overhead is
-two ``perf_counter`` calls per phase per batch — negligible next to the
-work being timed, so the timers stay on unconditionally.
+resolution, circ maintenance, and query recomputation.
+
+The timers are the *measurement* layer; they know nothing about the
+observability stack.  When observability is enabled
+(:class:`~repro.obs.config.ObsConfig`), the monitor's
+:class:`~repro.obs.core.Observability` registers a pull-collector that
+reads ``totals``/``counts`` at scrape time and exposes them as the
+``crnn_phase_seconds_total`` / ``crnn_phase_entries_total`` metric
+families — the hot path never touches the registry.  Span emission, by
+contrast, *is* gated behind the config: phases are only wrapped in
+tracer spans when tracing is on.
+
+The timers themselves do stay on unconditionally: the cost is two
+``perf_counter`` calls plus two dict updates per phase per batch
+(measured < 1 µs/phase on CPython 3.11, i.e. well under 0.1% of any
+realistic batch), which is why they need no off switch while spans and
+metrics do.  The measured end-to-end overhead budget of the full
+observability stack is documented in DESIGN.md §Observability.
 """
 
 from __future__ import annotations

@@ -23,14 +23,18 @@ monitor's :class:`~repro.core.stats.StatCounters`.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.oracle import brute_force_rnn
+from repro.obs.logutil import RateLimitedLogger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.monitor import CRNNMonitor
+
+logger = logging.getLogger("repro.robustness.audit")
 
 
 @dataclass(frozen=True)
@@ -83,6 +87,9 @@ class InvariantAuditor:
         self.policy = policy if policy is not None else AuditPolicy()
         self.rng = random.Random(self.policy.seed)
         self.reports: list[AuditReport] = []
+        #: Rate-limited operational log: a corrupted monitor can diverge
+        #: on every audited query; the limiter keeps the log readable.
+        self.log = RateLimitedLogger(logger)
         self._timestamps = 0
         self._audits = 0
         self._consecutive_dirty = 0
@@ -119,40 +126,63 @@ class InvariantAuditor:
             qids = sorted(self.rng.sample(qids, self.policy.sample_queries))
         divergent: list[int] = []
         repaired: list[int] = []
-        for qid in qids:
-            stats.audit_queries_checked += 1
-            st = monitor.qt.get(qid)
-            want = brute_force_rnn(monitor.grid.positions, st.pos, st.exclude)
-            if monitor.rnn(qid) == want:
-                continue
-            stats.audit_divergences += 1
-            divergent.append(qid)
-            # Scoped repair: recompute just this query at its current
-            # position instead of rebuilding the whole monitor.
-            stats.audit_repairs += 1
-            monitor.update_query(qid, st.pos)
-            if monitor.rnn(qid) == want:
-                repaired.append(qid)
+        with monitor.obs.tracer.span("audit.audit", deep=deep) as sp:
+            for qid in qids:
+                stats.audit_queries_checked += 1
+                st = monitor.qt.get(qid)
+                want = brute_force_rnn(monitor.grid.positions, st.pos, st.exclude)
+                if monitor.rnn(qid) == want:
+                    continue
+                stats.audit_divergences += 1
+                divergent.append(qid)
+                self.log.warning(
+                    "divergence",
+                    "audit divergence: query %d result disagrees with oracle",
+                    qid,
+                )
+                # Scoped repair: recompute just this query at its current
+                # position instead of rebuilding the whole monitor.
+                stats.audit_repairs += 1
+                monitor.update_query(qid, st.pos, cause="audit_repair")
+                if monitor.rnn(qid) == want:
+                    repaired.append(qid)
+                    self.log.info(
+                        "repair", "audit repair: query %d fixed by scoped recompute", qid
+                    )
 
-        structural_error: Optional[str] = None
-        if deep:
-            try:
-                monitor.validate()
-            except AssertionError as exc:
-                structural_error = str(exc) or "validate() failed"
+            structural_error: Optional[str] = None
+            if deep:
+                try:
+                    monitor.validate()
+                except AssertionError as exc:
+                    structural_error = str(exc) or "validate() failed"
+                    self.log.error(
+                        "structural", "audit structural check failed: %s", structural_error
+                    )
 
-        self._consecutive_dirty = (
-            self._consecutive_dirty + 1 if (divergent or structural_error) else 0
-        )
-        escalate = (
-            bool(set(divergent) - set(repaired))
-            or structural_error is not None
-            or self._consecutive_dirty >= self.policy.escalate_after
-        )
-        if escalate:
-            stats.audit_escalations += 1
-            monitor.rebuild()
-            self._consecutive_dirty = 0
+            self._consecutive_dirty = (
+                self._consecutive_dirty + 1 if (divergent or structural_error) else 0
+            )
+            escalate = (
+                bool(set(divergent) - set(repaired))
+                or structural_error is not None
+                or self._consecutive_dirty >= self.policy.escalate_after
+            )
+            if escalate:
+                stats.audit_escalations += 1
+                self.log.warning(
+                    "escalation",
+                    "audit escalation: full rebuild (unrepaired=%d, structural=%s, "
+                    "consecutive_dirty=%d)",
+                    len(set(divergent) - set(repaired)),
+                    structural_error is not None,
+                    self._consecutive_dirty,
+                )
+                monitor.rebuild()
+                self._consecutive_dirty = 0
+            sp.set("checked", len(qids))
+            sp.set("divergent", len(divergent))
+            sp.set("escalated", escalate)
 
         report = AuditReport(
             timestamp=self._timestamps,

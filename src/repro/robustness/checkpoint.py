@@ -20,6 +20,7 @@ that the snapshot is consistent.
 from __future__ import annotations
 
 import json
+import logging
 from typing import TYPE_CHECKING, Any
 
 from repro.core.config import MonitorConfig
@@ -28,6 +29,8 @@ from repro.geometry.rect import Rect
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.monitor import CRNNMonitor
+
+logger = logging.getLogger("repro.robustness.checkpoint")
 
 #: Format marker and version of the snapshot dict.
 FORMAT = "crnn-checkpoint"
@@ -41,6 +44,19 @@ class CheckpointError(ValueError):
 def snapshot(monitor: "CRNNMonitor") -> dict[str, Any]:
     """Serialize ``monitor`` to a JSON-safe dict (the checkpoint)."""
     cfg = monitor.config
+    with monitor.obs.tracer.span(
+        "checkpoint.snapshot", objects=len(monitor.grid), queries=len(monitor.qt)
+    ):
+        snap = _build_snapshot(monitor, cfg)
+    monitor.stats.checkpoints_saved += 1
+    logger.info(
+        "checkpoint saved: %d objects, %d queries",
+        len(snap["objects"]), len(snap["queries"]),
+    )
+    return snap
+
+
+def _build_snapshot(monitor: "CRNNMonitor", cfg: MonitorConfig) -> dict[str, Any]:
     snap: dict[str, Any] = {
         "format": FORMAT,
         "version": VERSION,
@@ -66,7 +82,6 @@ def snapshot(monitor: "CRNNMonitor") -> dict[str, Any]:
         ],
         "stats": monitor.stats.snapshot(),
     }
-    monitor.stats.checkpoints_saved += 1
     return snap
 
 
@@ -106,22 +121,33 @@ def restore(snap: dict[str, Any], verify: bool = True) -> "CRNNMonitor":
         raise CheckpointError(f"malformed checkpoint: {exc}") from exc
     monitor.drain_events()  # replay deltas are not live result changes
     if verify:
-        recorded = {int(qid): frozenset(int(o) for o in oids) for qid, oids in snap["results"]}
-        recomputed = monitor.results()
-        if recomputed != recorded:
-            bad = sorted(
-                qid
-                for qid in set(recorded) | set(recomputed)
-                if recorded.get(qid) != recomputed.get(qid)
-            )
-            raise CheckpointError(
-                f"post-restore results diverge from the checkpoint for queries {bad}"
-            )
-        try:
-            monitor.validate()
-        except AssertionError as exc:  # pragma: no cover - defensive
-            raise CheckpointError(f"post-restore validate() failed: {exc}") from exc
+        with monitor.obs.tracer.span("checkpoint.restore_verify", queries=len(monitor.qt)):
+            recorded = {
+                int(qid): frozenset(int(o) for o in oids) for qid, oids in snap["results"]
+            }
+            recomputed = monitor.results()
+            if recomputed != recorded:
+                bad = sorted(
+                    qid
+                    for qid in set(recorded) | set(recomputed)
+                    if recorded.get(qid) != recomputed.get(qid)
+                )
+                logger.error(
+                    "checkpoint restore verification failed for queries %s", bad
+                )
+                raise CheckpointError(
+                    f"post-restore results diverge from the checkpoint for queries {bad}"
+                )
+            try:
+                monitor.validate()
+            except AssertionError as exc:  # pragma: no cover - defensive
+                logger.error("post-restore validate() failed: %s", exc)
+                raise CheckpointError(f"post-restore validate() failed: {exc}") from exc
     monitor.stats.checkpoints_restored += 1
+    logger.info(
+        "checkpoint restored: %d objects, %d queries (verify=%s)",
+        len(monitor.grid), len(monitor.qt), verify,
+    )
     return monitor
 
 

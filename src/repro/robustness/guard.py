@@ -28,6 +28,7 @@ Every violation and every action is counted in the shared
 
 from __future__ import annotations
 
+import logging
 import math
 from typing import Callable, Iterable, Optional, Union
 
@@ -36,8 +37,11 @@ from repro.core.events import ObjectUpdate, QueryUpdate
 from repro.core.stats import StatCounters
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.obs.logutil import RateLimitedLogger
 
 Update = Union[ObjectUpdate, QueryUpdate]
+
+logger = logging.getLogger("repro.robustness.guard")
 
 
 class IngestionError(ValueError):
@@ -81,6 +85,11 @@ class IngestionGuard:
         self.stats = stats if stats is not None else StatCounters()
         self.has_object = has_object
         self.has_query = has_query
+        #: Rate-limited warnings for every silent repair/drop (a dirty
+        #: upstream can violate thousands of times per second; the
+        #: limiter logs the first few per violation kind, then 1-in-N
+        #: with a running count).  ``strict`` violations raise instead.
+        self.log = RateLimitedLogger(logger)
         #: The sanitized form of the batch most recently passed through
         #: :meth:`sanitize_batch` — the updates the monitor actually
         #: applied.  Feeding this stream to an oracle keeps it in
@@ -110,6 +119,9 @@ class IngestionGuard:
             # A non-finite coordinate carries no usable information —
             # even the clamp policy can only drop it.
             self.stats.guard_dropped += 1
+            self.log.warning(
+                "nonfinite", "dropped %s: non-finite coordinates %r", what, pos
+            )
             return None
         if not self.bounds.contains_point(pos):
             self.stats.guard_out_of_bounds += 1
@@ -119,8 +131,14 @@ class IngestionGuard:
                 )
             if self.policy == GUARD_CLAMP:
                 self.stats.guard_clamped += 1
+                self.log.warning(
+                    "clamped", "clamped %s: %r outside the data space", what, pos
+                )
                 return self._clamped(pos)
             self.stats.guard_dropped += 1
+            self.log.warning(
+                "out_of_bounds", "dropped %s: %r outside the data space", what, pos
+            )
             return None
         return pos
 
@@ -139,6 +157,11 @@ class IngestionGuard:
         self.stats.guard_id_conflicts += 1
         if self.policy == GUARD_STRICT:
             raise IngestionError(f"{kind} id {entity_id} already registered")
+        self.log.warning(
+            "id_conflict",
+            "insert of registered %s id %d downgraded to a location update",
+            kind, entity_id,
+        )
         return False
 
     def check_delete(self, kind: str, known: bool, entity_id: int) -> bool:
@@ -154,6 +177,9 @@ class IngestionGuard:
         if self.policy == GUARD_STRICT:
             raise IngestionError(f"delete of unknown {kind} id {entity_id}")
         self.stats.guard_dropped += 1
+        self.log.warning(
+            "unknown_delete", "ignored delete of unknown %s id %d", kind, entity_id
+        )
         return False
 
     # ------------------------------------------------------------------

@@ -102,7 +102,7 @@ class TestScopedRepair:
         # Make the scoped repair a no-op so the auditor must escalate;
         # rebuild() is restored to the real thing.
         real_update = mon.update_query
-        monkeypatch.setattr(mon, "update_query", lambda qid, pos: None)
+        monkeypatch.setattr(mon, "update_query", lambda qid, pos, **kw: None)
         report = auditor.audit(deep=False)
         assert report.divergent and not report.repaired
         assert report.escalated

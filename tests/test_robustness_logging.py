@@ -1,0 +1,187 @@
+"""Operational logging: rate limiting, guard/audit/checkpoint messages."""
+
+from __future__ import annotations
+
+import logging
+import math
+import random
+
+import pytest
+
+from repro.core.config import GUARD_CLAMP, GUARD_DROP, MonitorConfig
+from repro.core.events import ObjectUpdate
+from repro.core.monitor import CRNNMonitor
+from repro.geometry.point import Point
+from repro.obs.logutil import RateLimitedLogger
+from repro.robustness import checkpoint
+from repro.robustness.audit import AuditPolicy, InvariantAuditor
+from repro.robustness.guard import IngestionError
+
+
+class TestRateLimitedLogger:
+    def _logger(self, name: str) -> logging.Logger:
+        logger = logging.getLogger(f"test.ratelimit.{name}")
+        logger.setLevel(logging.DEBUG)
+        return logger
+
+    def test_burst_then_decimation(self, caplog):
+        log = RateLimitedLogger(self._logger("burst"), burst=3, every=10)
+        with caplog.at_level(logging.DEBUG, logger="test.ratelimit.burst"):
+            for _ in range(25):
+                log.warning("k", "event")
+        # First 3 logged, then occurrences 10 and 20 only.
+        assert len(caplog.records) == 5
+        assert "occurrence 10; 1-in-10 logging" in caplog.records[3].message
+        assert "occurrence 20; 1-in-10 logging" in caplog.records[4].message
+        assert log.counts() == {"k": 25}
+        assert log.suppressed("k") == 20
+
+    def test_keys_are_independent(self, caplog):
+        log = RateLimitedLogger(self._logger("keys"), burst=1, every=100)
+        with caplog.at_level(logging.DEBUG, logger="test.ratelimit.keys"):
+            for _ in range(5):
+                log.warning("a", "event a")
+            log.warning("b", "event b")
+        assert [r.message for r in caplog.records] == ["event a", "event b"]
+        assert log.suppressed("a") == 4
+        assert log.suppressed("b") == 0
+
+    def test_filtered_level_is_free(self, caplog):
+        logger = logging.getLogger("test.ratelimit.filtered")
+        logger.setLevel(logging.ERROR)
+        log = RateLimitedLogger(logger)
+        log.debug("k", "invisible")
+        # Filtered records do not consume the key's budget.
+        assert log.counts() == {}
+
+    def test_validation(self):
+        logger = self._logger("valid")
+        with pytest.raises(ValueError):
+            RateLimitedLogger(logger, burst=0)
+        with pytest.raises(ValueError):
+            RateLimitedLogger(logger, every=0)
+
+
+class TestGuardLogging:
+    def _monitor(self, policy: str) -> CRNNMonitor:
+        monitor = CRNNMonitor(MonitorConfig(guard_policy=policy))
+        monitor.add_object(1, Point(10.0, 10.0))
+        monitor.add_query(100, Point(20.0, 20.0))
+        monitor.drain_events()
+        return monitor
+
+    def test_drop_policy_warns(self, caplog):
+        monitor = self._monitor(GUARD_DROP)
+        with caplog.at_level(logging.WARNING, logger="repro.robustness.guard"):
+            monitor.process([
+                ObjectUpdate(1, Point(math.nan, 5.0)),
+                ObjectUpdate(1, Point(1e9, 5.0)),
+                ObjectUpdate(777, None),
+            ])
+        messages = [r.message for r in caplog.records]
+        assert any("non-finite" in m for m in messages)
+        assert any("outside the data space" in m for m in messages)
+        assert any("ignored delete of unknown object id 777" in m for m in messages)
+
+    def test_clamp_policy_warns_on_repair(self, caplog):
+        monitor = self._monitor(GUARD_CLAMP)
+        with caplog.at_level(logging.WARNING, logger="repro.robustness.guard"):
+            monitor.process([ObjectUpdate(1, Point(1e9, 5.0))])
+        assert any("clamped" in r.message for r in caplog.records)
+        # The update was applied, at the clamped position.
+        assert monitor.grid.positions[1][0] == monitor.config.bounds.xmax
+
+    def test_id_conflict_downgrade_warns(self, caplog):
+        monitor = self._monitor(GUARD_DROP)
+        with caplog.at_level(logging.WARNING, logger="repro.robustness.guard"):
+            monitor.add_object(1, Point(30.0, 30.0))
+        assert any(
+            "downgraded to a location update" in r.message for r in caplog.records
+        )
+        assert monitor.grid.positions[1] == Point(30.0, 30.0)
+
+    def test_strict_policy_raises_without_logging(self, caplog):
+        monitor = self._monitor("strict")
+        with caplog.at_level(logging.WARNING, logger="repro.robustness.guard"):
+            with pytest.raises(IngestionError):
+                monitor.process([ObjectUpdate(1, Point(math.nan, 5.0))])
+        assert not caplog.records
+
+    def test_flood_is_rate_limited(self, caplog):
+        monitor = self._monitor(GUARD_DROP)
+        with caplog.at_level(logging.WARNING, logger="repro.robustness.guard"):
+            for _ in range(50):
+                monitor.process([ObjectUpdate(1, Point(math.nan, 5.0))])
+        assert monitor.stats.guard_nonfinite == 50
+        # Burst of 5, every=1000: only the burst is logged here.
+        assert len(caplog.records) == 5
+        assert monitor.guard.log.suppressed("nonfinite") == 45
+
+
+class TestAuditLogging:
+    def _audited(self):
+        rng = random.Random(0)
+        monitor = CRNNMonitor()
+        for oid in range(30):
+            monitor.add_object(oid, Point(rng.uniform(0, 100), rng.uniform(0, 100)))
+        for qid in (200, 201):
+            monitor.add_query(qid, Point(rng.uniform(0, 100), rng.uniform(0, 100)))
+        monitor.drain_events()
+        auditor = InvariantAuditor(monitor, AuditPolicy(sample_queries=10))
+        return monitor, auditor
+
+    def test_divergence_and_repair_logged(self, caplog):
+        monitor, auditor = self._audited()
+        monitor._results[200].add(987_654)  # plant an impossible RNN
+        monitor._rnn_counts[200][987_654] = 1
+        with caplog.at_level(logging.INFO, logger="repro.robustness.audit"):
+            report = auditor.audit(deep=False)
+        assert report.divergent == (200,)
+        messages = [r.message for r in caplog.records]
+        assert any("audit divergence: query 200" in m for m in messages)
+        assert any("audit repair: query 200" in m for m in messages)
+
+    def test_clean_audit_is_silent(self, caplog):
+        _, auditor = self._audited()
+        with caplog.at_level(logging.INFO, logger="repro.robustness.audit"):
+            report = auditor.audit(deep=True)
+        assert report.clean
+        assert not caplog.records
+
+    def test_escalation_logged(self, caplog, monkeypatch):
+        monitor, auditor = self._audited()
+        monitor._results[200].add(987_654)
+        monitor._rnn_counts[200][987_654] = 1
+        monkeypatch.setattr(monitor, "update_query", lambda qid, pos, **kw: None)
+        with caplog.at_level(logging.WARNING, logger="repro.robustness.audit"):
+            report = auditor.audit(deep=False)
+        assert report.escalated
+        assert any("audit escalation" in r.message for r in caplog.records)
+
+
+class TestCheckpointLogging:
+    def _monitor(self) -> CRNNMonitor:
+        monitor = CRNNMonitor()
+        monitor.add_object(1, Point(10.0, 10.0))
+        monitor.add_query(100, Point(20.0, 20.0))
+        monitor.drain_events()
+        return monitor
+
+    def test_save_and_restore_logged(self, caplog):
+        monitor = self._monitor()
+        with caplog.at_level(logging.INFO, logger="repro.robustness.checkpoint"):
+            snap = checkpoint.snapshot(monitor)
+            checkpoint.restore(snap)
+        messages = [r.message for r in caplog.records]
+        assert any(m.startswith("checkpoint saved") for m in messages)
+        assert any(m.startswith("checkpoint restored") for m in messages)
+
+    def test_verification_failure_logged_as_error(self, caplog):
+        snap = checkpoint.snapshot(self._monitor())
+        snap["results"] = [[100, [999]]]  # claim a result the data refutes
+        with caplog.at_level(logging.ERROR, logger="repro.robustness.checkpoint"):
+            with pytest.raises(checkpoint.CheckpointError):
+                checkpoint.restore(snap)
+        assert any(
+            "restore verification failed" in r.message for r in caplog.records
+        )
