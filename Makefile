@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check smoke obs-smoke bench bench-check bench-paper experiments experiments-quick examples clean
+.PHONY: install test check smoke obs-smoke bench bench-check bench-paper docs docs-lint experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,10 +10,12 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# What CI runs: the tier-1 suite plus the fault-injection smoke job.
+# What CI runs: the tier-1 suite, the fault-injection smoke job, and
+# the docstring-coverage floor.
 check:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro.robustness.smoke --quick
+	$(PYTHON) tools/docstring_coverage.py --fail-under 85 src/repro
 
 smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.robustness.smoke
@@ -23,9 +25,11 @@ smoke:
 obs-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.smoke --quick
 
-# Scalar-vs-vectorized perf suite; regenerates the checked-in baseline.
+# Scalar-vs-vectorized perf suite plus the shard K-sweep; regenerates
+# both checked-in baselines.
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --out BENCH_pr2.json
+	PYTHONPATH=src $(PYTHON) -m repro.shard.bench --out BENCH_pr4.json
 
 # Regression gate against the checked-in BENCH_pr2.json (what CI runs).
 bench-check:
@@ -34,6 +38,14 @@ bench-check:
 # The original pytest-benchmark suite over the paper's tables/figures.
 bench-paper:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# API reference into docs/api (pdoc when installed, stdlib fallback
+# otherwise) after enforcing the docstring floor.
+docs: docs-lint
+	PYTHONPATH=src $(PYTHON) tools/gen_api_docs.py --out docs/api
+
+docs-lint:
+	$(PYTHON) tools/docstring_coverage.py --fail-under 85 src/repro
 
 experiments:
 	$(PYTHON) -m repro.bench.run_all --json results_full.json --markdown results_full.md

@@ -17,6 +17,16 @@ two machine-independent layers plus one same-machine timing layer:
    fresh runs against each other (scaled by the baseline ratio) keeps
    the check meaningful on arbitrarily slow CI hosts.
 
+Layer 3 only means anything when the baseline's ratio was produced on
+hardware comparable to the current host: a baseline recorded on a
+16-core workstation encodes a cache/branch-predictor profile a 1-core
+CI runner cannot reproduce, and failing there would punish the machine,
+not the code.  Bench artifacts therefore carry a ``host`` fingerprint
+(:func:`repro.perf.bench.host_fingerprint`); when the baseline's
+fingerprint is missing (a pre-fingerprint artifact) or differs from the
+current host, the timing layer **skips** instead of failing.  The two
+machine-independent layers always run.
+
 Run via ``make bench-check`` or ``pytest benchmarks/test_perf_regression.py``.
 """
 
@@ -29,12 +39,33 @@ import pytest
 
 from repro.obs.config import ObsConfig
 from repro.perf import HAVE_NUMPY
-from repro.perf.bench import LOGICAL_COUNTERS, SMOKE, logical_subset
+from repro.perf.bench import LOGICAL_COUNTERS, SMOKE, host_fingerprint, logical_subset
 
 BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
 
 #: Maximum tolerated relative slowdown vs the checked-in baseline.
 MAX_SLOWDOWN = 0.25
+
+
+def require_same_host(baseline: dict) -> None:
+    """Skip the calling test unless the baseline was recorded here.
+
+    Keyed on the ``host`` fingerprint the bench writes into its JSON;
+    baselines predating the fingerprint are treated as foreign (there is
+    no way to tell, and a wrong guess fails good code).
+    """
+    recorded = baseline.get("host")
+    if recorded is None:
+        pytest.skip(
+            "baseline JSON has no host fingerprint (pre-PR4 artifact); "
+            "same-machine timing bounds are not comparable"
+        )
+    current = host_fingerprint()
+    if recorded != current:
+        pytest.skip(
+            f"baseline recorded on different hardware ({recorded}), "
+            f"current host is {current}; timing bounds skipped"
+        )
 
 pytestmark = pytest.mark.skipif(
     not HAVE_NUMPY, reason="NumPy unavailable: vectorized mode inert"
@@ -95,6 +126,7 @@ class TestSmokeRegression:
             ), name
 
     def test_speedup_within_25_percent_of_baseline(self, baseline, smoke_now):
+        require_same_host(baseline)
         base = baseline["smoke"]["update_phase_speedup"]
         now = smoke_now["update_phase_speedup"]
         assert now >= base * (1.0 - MAX_SLOWDOWN), (

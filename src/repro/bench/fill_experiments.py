@@ -34,6 +34,7 @@ def _timing_line(entry: dict) -> str:
 
 
 def fill(results_path: str, markdown_path: str) -> int:
+    """Splice measured numbers from a results JSON into EXPERIMENTS.md's placeholders."""
     with open(results_path) as fp:
         results = json.load(fp)
     with open(markdown_path) as fp:
@@ -75,6 +76,7 @@ def fill(results_path: str, markdown_path: str) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.bench.fill_experiments``)."""
     args = argv if argv is not None else sys.argv[1:]
     if len(args) != 2:
         print(__doc__)

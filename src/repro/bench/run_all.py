@@ -45,6 +45,7 @@ SIMPLE_ABLATIONS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.bench.run_all``)."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small fast sweeps")
     parser.add_argument(

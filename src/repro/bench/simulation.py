@@ -43,6 +43,7 @@ class SimulationResult:
 
     @property
     def avg_update_seconds(self) -> float:
+        """Mean per-timestamp processing time."""
         if not self.per_timestamp_seconds:
             return 0.0
         return sum(self.per_timestamp_seconds) / len(self.per_timestamp_seconds)
@@ -57,6 +58,7 @@ class SimulationResult:
 
     @property
     def total_seconds(self) -> float:
+        """Total processing time across all timestamps."""
         return sum(self.per_timestamp_seconds)
 
 

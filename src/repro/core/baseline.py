@@ -30,30 +30,37 @@ class TPLFURBaseline:
 
     # -- objects --------------------------------------------------------
     def add_object(self, oid: int, pos: Point) -> None:
+        """Register object ``oid`` at ``pos``."""
         self.tree.insert(LeafEntry(oid, pos))
 
     def update_object(self, oid: int, new_pos: Point) -> None:
+        """Move object ``oid`` to ``new_pos`` (insert if unknown)."""
         if oid in self.tree:
             self.tree.update(oid, new_pos)
         else:
             self.add_object(oid, new_pos)
 
     def remove_object(self, oid: int) -> None:
+        """Drop object ``oid``; returns whether it existed."""
         self.tree.delete_by_id(oid)
 
     # -- queries --------------------------------------------------------
     def add_query(self, qid: int, pos: Point, exclude: Iterable[int] = ()) -> None:
+        """Register query ``qid``; returns its initial RNN set."""
         self.queries[qid] = (pos, frozenset(exclude))
 
     def update_query(self, qid: int, new_pos: Point) -> None:
+        """Move query ``qid`` to ``new_pos``."""
         _, exclude = self.queries[qid]
         self.queries[qid] = (new_pos, exclude)
 
     def remove_query(self, qid: int) -> None:
+        """Drop query ``qid``; returns whether it existed."""
         del self.queries[qid]
 
     # -- per-timestamp evaluation -----------------------------------------
     def rnn(self, qid: int) -> frozenset[int]:
+        """The exact RNN set of ``qid``, recomputed from scratch."""
         pos, exclude = self.queries[qid]
         return frozenset(tpl_rnn(self.tree, pos, exclude))
 

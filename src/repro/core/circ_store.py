@@ -68,9 +68,11 @@ class CircRecord:
 
     @property
     def is_rnn(self) -> bool:
+        """Whether the candidate is currently a reverse NN (no disprover)."""
         return self.nn is None
 
     def circle(self, cand_pos: Point) -> Circle:
+        """The circ-region circle: centred on the candidate, this radius."""
         return Circle(cand_pos, self.radius)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -100,12 +102,26 @@ class CircStoreBase:
         #: Purely additive accounting — never influences behaviour.
         self.health: Optional["QueryHealthTracker"] = None
         self._records: dict[tuple[int, int], CircRecord] = {}
+        #: Sequence number of the move currently being processed, set by
+        #: :meth:`process_moves` (or by a caller driving
+        #: :meth:`handle_update` directly).  Pure bookkeeping for event
+        #: attribution — the sharded engine (:mod:`repro.shard`) uses it
+        #: to merge per-shard event streams back into the single-monitor
+        #: order.  Never influences behaviour.
+        self.move_seq: int = 0
+        #: Where inside *updateCirc* the store currently is, for the
+        #: same event-attribution purpose: ``(0, qid, sector)`` while
+        #: step 1 handles that record, ``(1, cand, qid, sector)`` while
+        #: step 2 shrinks that record, ``()`` otherwise.
+        self.emit_ctx: tuple[int, ...] = ()
 
     # -- public record access ------------------------------------------
     def record(self, qid: int, sector: int) -> Optional[CircRecord]:
+        """The circ record of ``(qid, sector)``, or ``None`` if vacant."""
         return self._records.get((qid, sector))
 
     def records_of_query(self, qid: int) -> list[CircRecord]:
+        """Every sector's circ record belonging to query ``qid``."""
         return [r for (q, _s), r in self._records.items() if q == qid]
 
     def rnn_set(self, qid: int) -> frozenset[int]:
@@ -181,11 +197,19 @@ class CircStoreBase:
         raise NotImplementedError
 
     def process_moves(
-        self, moves: list[tuple[int, Optional[Point], Optional[Point]]]
+        self,
+        moves: list[tuple[int, Optional[Point], Optional[Point]]],
+        seq: Optional[list[int]] = None,
     ) -> None:
         """Process a batch of updates; stores may override with a batched
-        fast path that is event-for-event identical to this loop."""
-        for oid, old_pos, new_pos in moves:
+        fast path that is event-for-event identical to this loop.
+
+        ``seq`` optionally supplies a global sequence number per move
+        (defaults to the position in ``moves``); it is exposed through
+        :attr:`move_seq` for event attribution only.
+        """
+        for i, (oid, old_pos, new_pos) in enumerate(moves):
+            self.move_seq = seq[i] if seq is not None else i
             self.handle_update(oid, old_pos, new_pos)
 
     # -- shared helpers ----------------------------------------------------
@@ -347,6 +371,7 @@ class FurCircStore(CircStoreBase):
     def handle_update(
         self, oid: int, old_pos: Optional[Point], new_pos: Optional[Point]
     ) -> None:
+        """updateCirc for one object update (Fig. 13, steps 1 and 2)."""
         self._step1(oid, new_pos)
         # Step 2: circ-regions the new location has entered (containment
         # query on the FUR-tree; shrinks circles, may kill RNN status).
@@ -367,6 +392,7 @@ class FurCircStore(CircStoreBase):
         if not keys:
             return
         for key in sorted(keys):
+            self.emit_ctx = (0, key[0], key[1])
             rec = self._records[key]
             cand_pos = self.grid.positions[rec.cand]
             if new_pos is not None:
@@ -392,6 +418,7 @@ class FurCircStore(CircStoreBase):
     def _step2_entry(self, oid: int, new_pos: Point, entry: LeafEntry) -> None:
         """Shrink the circ-regions of one FUR entry that ``oid`` entered."""
         for key in sorted(self.by_cand.get(entry.oid, ())):
+            self.emit_ctx = (1, entry.oid, key[0], key[1])
             rec = self._records.get(key)
             if rec is None:
                 continue
@@ -409,7 +436,9 @@ class FurCircStore(CircStoreBase):
                 )
 
     def process_moves(
-        self, moves: list[tuple[int, Optional[Point], Optional[Point]]]
+        self,
+        moves: list[tuple[int, Optional[Point], Optional[Point]]],
+        seq: Optional[list[int]] = None,
     ) -> None:
         """Batched *updateCirc*: same per-move semantics, array prefilter.
 
@@ -426,7 +455,8 @@ class FurCircStore(CircStoreBase):
         from repro.perf import HAVE_NUMPY
 
         if not HAVE_NUMPY:
-            for oid, old_pos, new_pos in moves:
+            for i, (oid, old_pos, new_pos) in enumerate(moves):
+                self.move_seq = seq[i] if seq is not None else i
                 self.handle_update(oid, old_pos, new_pos)
             return
         from repro.perf.kernels import EntrySnapshot
@@ -442,7 +472,9 @@ class FurCircStore(CircStoreBase):
             self._dirty_cands = set()
             try:
                 row = 0
-                for oid, old_pos, new_pos in part:
+                for j, (oid, old_pos, new_pos) in enumerate(part):
+                    gi = start + j
+                    self.move_seq = seq[gi] if seq is not None else gi
                     self._step1(oid, new_pos)
                     if new_pos is None:
                         continue
@@ -475,6 +507,7 @@ class FurCircStore(CircStoreBase):
     # Validation (used by tests)
     # ------------------------------------------------------------------
     def validate(self) -> None:
+        """Structural invariants of store vs FUR-tree; raises ``AssertionError``."""
         self.fur.validate()
         tree_ids = {e.oid for e in self.fur.entries()}
         expected_in_tree: set[int] = set()

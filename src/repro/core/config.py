@@ -93,6 +93,7 @@ class MonitorConfig:
 
     @property
     def uses_fur_store(self) -> bool:
+        """Whether the variant keeps circ-regions in a FUR-tree."""
         return self.variant in (LU_ONLY, LU_PI)
 
     @property
@@ -102,12 +103,15 @@ class MonitorConfig:
 
     @classmethod
     def uniform(cls, **kwargs) -> "MonitorConfig":
+        """Config for the uniform-grid circ store (no FUR-tree)."""
         return cls(variant=UNIFORM, **kwargs)
 
     @classmethod
     def lu_only(cls, **kwargs) -> "MonitorConfig":
+        """Config for the FUR-tree store with lazy updates only."""
         return cls(variant=LU_ONLY, **kwargs)
 
     @classmethod
     def lu_pi(cls, **kwargs) -> "MonitorConfig":
+        """Config for the FUR-tree store with lazy updates + partial insert."""
         return cls(variant=LU_PI, **kwargs)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import TYPE_CHECKING, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.obs.config import ObsConfig
@@ -54,10 +54,123 @@ from repro.grid.index import GridIndex
 Update = Union[ObjectUpdate, QueryUpdate]
 
 
+def apply_grid_updates(
+    grid: GridIndex,
+    sanitized: list[Update],
+    vectorized: bool,
+    moves: list[tuple[int, Optional[Point], Optional[Point]]],
+    query_updates: list[QueryUpdate],
+) -> None:
+    """Apply a sanitized batch's object updates to ``grid``.
+
+    The grid-maintenance stage of one ``process()`` tick, shared by
+    :class:`CRNNMonitor` and the sharded engine
+    (:mod:`repro.shard`): object inserts, moves, and deletes are applied
+    in batch order, real position changes are appended to ``moves`` as
+    ``(oid, old_pos, new_pos)``, and query updates are deferred into
+    ``query_updates`` untouched.  With ``vectorized`` set, runs of plain
+    location updates go through :meth:`GridIndex.bulk_move_objects` and
+    the CSR bucketing is refreshed once at the end — the resulting grid
+    state and ``moves`` list are identical either way.
+
+    Parameters
+    ----------
+    grid:
+        The grid index to mutate.
+    sanitized:
+        A guard-sanitized update batch (see
+        :meth:`~repro.robustness.guard.IngestionGuard.sanitize_batch`).
+    vectorized:
+        Whether to use the bulk-move fast path (requires NumPy).
+    moves:
+        Output list the applied object moves are appended to.
+    query_updates:
+        Output list the batch's query updates are appended to.
+    """
+    if vectorized:
+        _apply_grid_updates_bulk(grid, sanitized, moves, query_updates)
+    else:
+        for update in sanitized:
+            if isinstance(update, ObjectUpdate):
+                if update.pos is None:
+                    old_pos, _ = grid.delete_object(update.oid)
+                    moves.append((update.oid, old_pos, None))
+                elif update.oid not in grid:
+                    grid.insert_object(update.oid, update.pos)
+                    moves.append((update.oid, None, update.pos))
+                else:
+                    old_pos, _, _ = grid.move_object(update.oid, update.pos)
+                    if old_pos != update.pos:
+                        moves.append((update.oid, old_pos, update.pos))
+            elif isinstance(update, QueryUpdate):
+                query_updates.append(update)
+            else:
+                raise TypeError(f"unsupported update {update!r}")
+    if moves and vectorized:
+        # One CSR rebuild serves every NN search of the batch:
+        # pie/circ maintenance never moves grid objects, so the
+        # bucketing stays fresh until the next batch's moves.
+        grid.ensure_csr()
+
+
+def _apply_grid_updates_bulk(
+    grid: GridIndex,
+    sanitized: list[Update],
+    moves: list[tuple[int, Optional[Point], Optional[Point]]],
+    query_updates: list[QueryUpdate],
+) -> None:
+    """Sequentially-equivalent grid application with bulk moves.
+
+    Runs of plain location updates for distinct known objects are
+    flushed through :meth:`GridIndex.bulk_move_objects`; inserts,
+    deletes, repeated oids, and query updates flush the pending run
+    first, so the grid evolves through the same states as the scalar
+    per-update loop and ``moves`` ends up identical.
+    """
+    pending: list[tuple[int, Point]] = []
+    pending_oids: set[int] = set()
+
+    def flush() -> None:
+        if pending:
+            moves.extend(grid.bulk_move_objects(pending))
+            pending.clear()
+            pending_oids.clear()
+
+    for update in sanitized:
+        if (
+            isinstance(update, ObjectUpdate)
+            and update.pos is not None
+            and update.oid in grid
+        ):
+            if update.oid in pending_oids:
+                flush()
+            pending.append((update.oid, update.pos))
+            pending_oids.add(update.oid)
+            continue
+        flush()
+        if isinstance(update, ObjectUpdate):
+            if update.pos is None:
+                old_pos, _ = grid.delete_object(update.oid)
+                moves.append((update.oid, old_pos, None))
+            else:
+                grid.insert_object(update.oid, update.pos)
+                moves.append((update.oid, None, update.pos))
+        elif isinstance(update, QueryUpdate):
+            query_updates.append(update)
+        else:
+            raise TypeError(f"unsupported update {update!r}")
+    flush()
+
+
 class CRNNMonitor:
     """Continuously monitors the reverse nearest neighbors of query points."""
 
-    def __init__(self, config: Optional[MonitorConfig] = None):
+    def __init__(
+        self,
+        config: Optional[MonitorConfig] = None,
+        *,
+        grid: Optional[GridIndex] = None,
+    ):
         self.config = config if config is not None else MonitorConfig()
         self.stats = StatCounters()
         #: Wall-clock attribution of ``process()`` batches by stage.
@@ -69,15 +182,25 @@ class CRNNMonitor:
         #: Effective fast-path switch: the config flag gated on NumPy
         #: actually being importable (results never depend on it).
         self.vectorized = self.config.vectorized and HAVE_NUMPY
-        self.grid = GridIndex(self.config.bounds, self.config.grid_cells, self.stats)
-        #: Searches dispatched through the grid emit spans to the same
-        #: tracer as the monitor's phases (null tracer when disabled).
-        self.grid.tracer = self.obs.tracer
-        if not self.vectorized:
-            # Pin every grid-level dispatch (enumeration twins, NN
-            # kernels) to the scalar reference path as well, so a
-            # vectorized=False monitor is scalar end to end.
-            self.grid.vector_enabled = False
+        #: Whether this monitor owns its grid.  A sharded deployment
+        #: (:mod:`repro.shard`) injects one shared grid into several
+        #: per-shard monitors; the sharing coordinator then drives grid
+        #: maintenance and keeps control of the grid's tracer hookup.
+        self.owns_grid = grid is None
+        self.grid = (
+            grid
+            if grid is not None
+            else GridIndex(self.config.bounds, self.config.grid_cells, self.stats)
+        )
+        if self.owns_grid:
+            #: Searches dispatched through the grid emit spans to the same
+            #: tracer as the monitor's phases (null tracer when disabled).
+            self.grid.tracer = self.obs.tracer
+            if not self.vectorized:
+                # Pin every grid-level dispatch (enumeration twins, NN
+                # kernels) to the scalar reference path as well, so a
+                # vectorized=False monitor is scalar end to end.
+                self.grid.vector_enabled = False
         self.qt = QueryTable()
         self._results: dict[int, set[int]] = {}
         # Per-query reference counts behind the result sets.  An object
@@ -360,30 +483,7 @@ class CRNNMonitor:
         moves: list[tuple[int, Optional[Point], Optional[Point]]] = []
         query_updates: list[QueryUpdate] = []
         with tracer.span("monitor.grid_moves"), self.timers.phase("grid_moves"):
-            if self.vectorized:
-                self._apply_grid_updates_bulk(sanitized, moves, query_updates)
-            else:
-                for update in sanitized:
-                    if isinstance(update, ObjectUpdate):
-                        if update.pos is None:
-                            old_pos, _ = self.grid.delete_object(update.oid)
-                            moves.append((update.oid, old_pos, None))
-                        elif update.oid not in self.grid:
-                            self.grid.insert_object(update.oid, update.pos)
-                            moves.append((update.oid, None, update.pos))
-                        else:
-                            old_pos, _, _ = self.grid.move_object(update.oid, update.pos)
-                            if old_pos != update.pos:
-                                moves.append((update.oid, old_pos, update.pos))
-                    elif isinstance(update, QueryUpdate):
-                        query_updates.append(update)
-                    else:
-                        raise TypeError(f"unsupported update {update!r}")
-            if moves and self.vectorized:
-                # One CSR rebuild serves every NN search of the batch:
-                # pie/circ maintenance never moves grid objects, so the
-                # bucketing stays fresh until the next batch's moves.
-                self.grid.ensure_csr()
+            apply_grid_updates(self.grid, sanitized, self.vectorized, moves, query_updates)
         if moves:
             with tracer.span("monitor.pies", moves=len(moves)), self.timers.phase("pies"):
                 if self.vectorized:
@@ -406,54 +506,6 @@ class CRNNMonitor:
                 else:
                     self.add_query(update.qid, update.pos)
         return self._events[mark:]
-
-    def _apply_grid_updates_bulk(
-        self,
-        sanitized: list[Update],
-        moves: list[tuple[int, Optional[Point], Optional[Point]]],
-        query_updates: list[QueryUpdate],
-    ) -> None:
-        """Sequentially-equivalent grid application with bulk moves.
-
-        Runs of plain location updates for distinct known objects are
-        flushed through :meth:`GridIndex.bulk_move_objects`; inserts,
-        deletes, repeated oids, and query updates flush the pending run
-        first, so the grid evolves through the same states as the scalar
-        per-update loop and ``moves`` ends up identical.
-        """
-        pending: list[tuple[int, Point]] = []
-        pending_oids: set[int] = set()
-
-        def flush() -> None:
-            if pending:
-                moves.extend(self.grid.bulk_move_objects(pending))
-                pending.clear()
-                pending_oids.clear()
-
-        for update in sanitized:
-            if (
-                isinstance(update, ObjectUpdate)
-                and update.pos is not None
-                and update.oid in self.grid
-            ):
-                if update.oid in pending_oids:
-                    flush()
-                pending.append((update.oid, update.pos))
-                pending_oids.add(update.oid)
-                continue
-            flush()
-            if isinstance(update, ObjectUpdate):
-                if update.pos is None:
-                    old_pos, _ = self.grid.delete_object(update.oid)
-                    moves.append((update.oid, old_pos, None))
-                else:
-                    self.grid.insert_object(update.oid, update.pos)
-                    moves.append((update.oid, None, update.pos))
-            elif isinstance(update, QueryUpdate):
-                query_updates.append(update)
-            else:
-                raise TypeError(f"unsupported update {update!r}")
-        flush()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -494,9 +546,11 @@ class CRNNMonitor:
         return explain_query(self, qid)
 
     def object_count(self) -> int:
+        """Number of monitored objects."""
         return len(self.grid)
 
     def query_count(self) -> int:
+        """Number of registered queries."""
         return len(self.qt)
 
     def summary(self) -> dict[str, float]:
@@ -577,8 +631,21 @@ class CRNNMonitor:
     # ------------------------------------------------------------------
     # Validation (tests)
     # ------------------------------------------------------------------
-    def validate(self) -> None:
-        """Cross-structure consistency checks; raises ``AssertionError``."""
+    def validate(
+        self, *, foreign_qid_ok: Optional[Callable[[int], bool]] = None
+    ) -> None:
+        """Cross-structure consistency checks; raises ``AssertionError``.
+
+        Parameters
+        ----------
+        foreign_qid_ok:
+            Optional predicate for grid pie registrations whose qid this
+            monitor does not know.  A sharded deployment shares one grid
+            between several per-shard monitors, so sibling shards'
+            registrations are expected; the predicate returns ``True``
+            for qids owned elsewhere.  Default: every unknown qid is a
+            dead-query violation (the single-monitor invariant).
+        """
         self.circ.validate()  # type: ignore[attr-defined]
         for st in self.qt:
             for sector in range(NUM_SECTORS):
@@ -619,6 +686,9 @@ class CRNNMonitor:
         # keeps validate() from defeating the grid's lazy allocation.
         for cell in self.grid.materialized_cells():
             for qid, mask in cell.pie_queries.items():
+                if qid not in self.qt and foreign_qid_ok is not None:
+                    if foreign_qid_ok(qid):
+                        continue
                 assert qid in self.qt, "registration for dead query"
                 for sector in range(NUM_SECTORS):
                     if mask & (1 << sector):

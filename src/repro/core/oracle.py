@@ -61,38 +61,47 @@ class BruteForceMonitor:
 
     # -- objects --------------------------------------------------------
     def add_object(self, oid: int, pos: Point) -> None:
+        """Register object ``oid`` at ``pos``."""
         self.positions[oid] = pos
 
     def update_object(self, oid: int, new_pos: Point) -> None:
+        """Move object ``oid`` to ``new_pos`` (insert if unknown)."""
         self.positions[oid] = new_pos
 
     def remove_object(self, oid: int) -> None:
         # Idempotent, like the guarded monitor: deleting an unknown id
         # is a no-op (the desired end state already holds).
+        """Drop object ``oid``; returns whether it existed."""
         self.positions.pop(oid, None)
 
     # -- queries --------------------------------------------------------
     def add_query(self, qid: int, pos: Point, exclude: Iterable[int] = ()) -> frozenset[int]:
+        """Register query ``qid``; returns its initial RNN set."""
         self.queries[qid] = (pos, frozenset(exclude))
         return self.rnn(qid)
 
     def update_query(self, qid: int, new_pos: Point) -> None:
+        """Move query ``qid`` to ``new_pos``."""
         _, exclude = self.queries[qid]
         self.queries[qid] = (new_pos, exclude)
 
     def remove_query(self, qid: int) -> None:
+        """Drop query ``qid``; returns whether it existed."""
         del self.queries[qid]
 
     # -- results ----------------------------------------------------------
     def rnn(self, qid: int) -> frozenset[int]:
+        """The oracle's current RNN set of ``qid``."""
         pos, exclude = self.queries[qid]
         return brute_force_rnn(self.positions, pos, exclude)
 
     def results(self) -> dict[int, frozenset[int]]:
+        """Current results of every query (qid -> RNN set)."""
         return {qid: self.rnn(qid) for qid in self.queries}
 
     # -- batch API mirroring CRNNMonitor.process -------------------------
     def process(self, updates: Iterable[ObjectUpdate | QueryUpdate]) -> None:
+        """Apply one batch and return the resulting event delta."""
         for update in updates:
             if isinstance(update, ObjectUpdate):
                 if update.pos is None:

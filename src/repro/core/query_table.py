@@ -68,6 +68,7 @@ class QueryTable:
         self._states: dict[int, QueryState] = {}
 
     def add(self, qid: int, pos: Point, exclude: frozenset[int] = frozenset()) -> QueryState:
+        """Create and store the state record of a new query."""
         if qid in self._states:
             raise KeyError(f"query {qid} already registered")
         state = QueryState(qid, pos, exclude)
@@ -75,9 +76,11 @@ class QueryTable:
         return state
 
     def remove(self, qid: int) -> QueryState:
+        """Drop query ``qid``'s state record."""
         return self._states.pop(qid)
 
     def get(self, qid: int) -> QueryState:
+        """The state record of ``qid``; raises ``KeyError`` if unknown."""
         return self._states[qid]
 
     def __contains__(self, qid: int) -> bool:
@@ -90,4 +93,5 @@ class QueryTable:
         return iter(self._states.values())
 
     def ids(self) -> Iterator[int]:
+        """A view of all registered query ids."""
         return iter(self._states.keys())

@@ -37,6 +37,7 @@ class PieRegion:
 
     @property
     def bounded(self) -> bool:
+        """Whether the pie's radius is finite (an unbounded pie covers its whole sector)."""
         return not math.isinf(self.radius)
 
 

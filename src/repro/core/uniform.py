@@ -68,6 +68,7 @@ class GridCircStore(CircStoreBase):
     def handle_update(
         self, oid: int, old_pos: Optional[Point], new_pos: Optional[Point]
     ) -> None:
+        """updateCirc for one object update, against the cell-bucketed store."""
         touched: set[tuple[int, int]] = set()
         if old_pos is not None:
             touched.update(self.grid.cell_at(old_pos).circ_queries)
@@ -93,6 +94,7 @@ class GridCircStore(CircStoreBase):
     # Validation (used by tests)
     # ------------------------------------------------------------------
     def validate(self) -> None:
+        """Structural invariants of the cell buckets; raises ``AssertionError``."""
         for key, rec in self._records.items():
             assert key == (rec.qid, rec.sector), "record key mismatch"
             assert rec.radius <= rec.d_q_cand + 1e-9

@@ -184,45 +184,62 @@ def handle_update_pies(
         affected.update(monitor.grid.cell_at(new_pos).pie_queries)
     for qid in sorted(affected):
         st = monitor.qt.get(qid)
-        if oid in st.exclude:
-            continue
-        q = st.pos
-        cand_sector = st.sector_of_candidate(oid)
-        if cand_sector is not None:
-            if new_pos is None:
-                monitor.stats.pie_case2 += 1
-                research_sector(monitor, st, cand_sector)
-            else:
-                s_new = sector_of(q, new_pos)
-                d_new = dist(q, new_pos)
-                if s_new == cand_sector and d_new <= st.d_cand[cand_sector]:
-                    # Case 3: the candidate moved within its own pie.
-                    monitor.stats.pie_case3 += 1
-                    set_candidate(monitor, st, cand_sector, oid, new_pos, d_new)
-                else:
-                    # Case 2: the candidate left its pie (different
-                    # sector, or outward past the old radius).  If it
-                    # stayed in the sector its new distance bounds the
-                    # re-search.
-                    monitor.stats.pie_case2 += 1
-                    bound = d_new if s_new == cand_sector else math.inf
-                    research_sector(monitor, st, cand_sector, upper_bound=bound)
+        handle_update_pies_for_query(monitor, st, oid, new_pos)
+
+
+def handle_update_pies_for_query(
+    monitor: "CRNNMonitor",
+    st: QueryState,
+    oid: int,
+    new_pos: Optional[Point],
+) -> None:
+    """The per-query body of :func:`handle_update_pies`.
+
+    Applies one object's (already grid-applied) update to a single
+    query's pie-regions — the scalar case-1/2/3 dispatch of *updatePie*.
+    Split out so a sharded engine can drive one owned query at a time
+    while attributing the resulting events; semantics and counters are
+    exactly those of the single-monitor loop.
+    """
+    if oid in st.exclude:
+        return
+    q = st.pos
+    cand_sector = st.sector_of_candidate(oid)
+    if cand_sector is not None:
         if new_pos is None:
-            continue
-        s_new = sector_of(q, new_pos)
-        if st.cand[s_new] == oid:
-            continue
-        d_new = dist(q, new_pos)
-        if d_new < st.d_cand[s_new]:
-            # Case 1: the object entered a pie-region; being strictly
-            # nearer than the previous candidate it is the new
-            # constrained NN of this sector.
-            monitor.stats.pie_case1 += 1
-            demoted = st.cand[s_new]
-            extra: tuple[tuple[Optional[int], Optional[Point]], ...] = ()
-            if demoted is not None:
-                extra = ((demoted, monitor.grid.positions[demoted]),)
-            set_candidate(monitor, st, s_new, oid, new_pos, d_new, extra_known=extra)
+            monitor.stats.pie_case2 += 1
+            research_sector(monitor, st, cand_sector)
+        else:
+            s_new = sector_of(q, new_pos)
+            d_new = dist(q, new_pos)
+            if s_new == cand_sector and d_new <= st.d_cand[cand_sector]:
+                # Case 3: the candidate moved within its own pie.
+                monitor.stats.pie_case3 += 1
+                set_candidate(monitor, st, cand_sector, oid, new_pos, d_new)
+            else:
+                # Case 2: the candidate left its pie (different
+                # sector, or outward past the old radius).  If it
+                # stayed in the sector its new distance bounds the
+                # re-search.
+                monitor.stats.pie_case2 += 1
+                bound = d_new if s_new == cand_sector else math.inf
+                research_sector(monitor, st, cand_sector, upper_bound=bound)
+    if new_pos is None:
+        return
+    s_new = sector_of(q, new_pos)
+    if st.cand[s_new] == oid:
+        return
+    d_new = dist(q, new_pos)
+    if d_new < st.d_cand[s_new]:
+        # Case 1: the object entered a pie-region; being strictly
+        # nearer than the previous candidate it is the new
+        # constrained NN of this sector.
+        monitor.stats.pie_case1 += 1
+        demoted = st.cand[s_new]
+        extra: tuple[tuple[Optional[int], Optional[Point]], ...] = ()
+        if demoted is not None:
+            extra = ((demoted, monitor.grid.positions[demoted]),)
+        set_candidate(monitor, st, s_new, oid, new_pos, d_new, extra_known=extra)
 
 
 def resolve_pies_batch(

@@ -40,6 +40,7 @@ class NetworkGenerator:
 
     # ------------------------------------------------------------------
     def ids(self) -> list[int]:
+        """The generated object ids."""
         return list(self.movers.keys())
 
     def positions(self) -> dict[int, Point]:
@@ -62,5 +63,6 @@ class NetworkGenerator:
         return {eid: self.movers[eid].advance(self.rng, dt) for eid in chosen}
 
     def position_of(self, eid: int) -> Optional[Point]:
+        """Current position of object ``oid``."""
         mover = self.movers.get(eid)
         return mover.position if mover is not None else None

@@ -74,10 +74,12 @@ class RoadNetwork:
         return Point(a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))
 
     def other_end(self, eid: int, node: int) -> int:
+        """The edge's endpoint opposite to node ``node``."""
         edge = self.edges[eid]
         return edge.v if node == edge.u else edge.u
 
     def edges_at(self, node: int) -> list[int]:
+        """The edges incident to node ``node``."""
         return self.adjacency[node]
 
     def random_edge_position(self, rng: random.Random) -> tuple[int, int, float]:

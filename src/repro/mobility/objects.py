@@ -36,6 +36,7 @@ class NetworkMover:
 
     @property
     def position(self) -> Point:
+        """The object's current position on its edge."""
         return self.network.position_on_edge(self.eid, self.offset, self.from_node)
 
     def advance(self, rng: random.Random, dt: float = 1.0) -> Point:

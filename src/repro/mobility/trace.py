@@ -77,6 +77,7 @@ class Trace:
     # Serialisation
     # ------------------------------------------------------------------
     def to_json(self, fp: IO[str]) -> None:
+        """JSON-ready dict form of the trace."""
         json.dump(
             {
                 "bounds": list(self.bounds),
@@ -91,6 +92,7 @@ class Trace:
 
     @classmethod
     def from_json(cls, fp: IO[str]) -> "Trace":
+        """Rebuild a trace from :meth:`to_json` output."""
         blob = json.load(fp)
         trace = cls(
             bounds=Rect(*blob["bounds"]),
@@ -103,11 +105,13 @@ class Trace:
         return trace
 
     def save(self, path: str) -> None:
+        """Write the trace as JSON to ``path``."""
         with open(path, "w") as fp:
             self.to_json(fp)
 
     @classmethod
     def load(cls, path: str) -> "Trace":
+        """Read a trace written by :meth:`save`."""
         with open(path) as fp:
             return cls.from_json(fp)
 

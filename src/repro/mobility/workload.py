@@ -63,9 +63,11 @@ class Workload:
 
     # ------------------------------------------------------------------
     def initial_objects(self) -> dict[int, Point]:
+        """The (oid, position) pairs present at t=0."""
         return self.objects.positions()
 
     def initial_queries(self) -> dict[int, Point]:
+        """The (qid, position) pairs registered at t=0."""
         return self.queries.positions()
 
     def batches(self) -> Iterator[list[ObjectUpdate | QueryUpdate]]:

@@ -83,6 +83,7 @@ class BichromaticRnnMonitor:
         return frozenset(self._results[sid])
 
     def remove_site(self, sid: int) -> None:
+        """Drop site ``sid``; returns whether it existed."""
         self.sites_grid.delete_object(sid)
         orphans = list(self._results.pop(sid, ()))
         for oid in orphans:
@@ -106,6 +107,7 @@ class BichromaticRnnMonitor:
     # Objects
     # ------------------------------------------------------------------
     def add_object(self, oid: int, pos: Point) -> None:
+        """Register customer object ``oid`` at ``pos``."""
         if oid in self.objects:
             raise KeyError(f"object {oid} already present")
         self.objects[oid] = pos
@@ -114,6 +116,7 @@ class BichromaticRnnMonitor:
         self._reassign(oid)
 
     def update_object(self, oid: int, new_pos: Point) -> None:
+        """Move customer ``oid`` (insert if unknown)."""
         if oid not in self.objects:
             self.add_object(oid, new_pos)
             return
@@ -122,6 +125,7 @@ class BichromaticRnnMonitor:
         self._reassign(oid)
 
     def remove_object(self, oid: int) -> None:
+        """Drop customer ``oid``; returns whether it existed."""
         del self.objects[oid]
         self.circles.delete_by_id(oid)
         self._tied.discard(oid)
@@ -134,6 +138,7 @@ class BichromaticRnnMonitor:
     # Batch API and results
     # ------------------------------------------------------------------
     def process(self, updates: Iterable[ObjectUpdate | QueryUpdate]) -> list[ResultChange]:
+        """Apply one batch of site/customer updates; returns the event delta."""
         mark = len(self._events)
         for update in updates:
             if isinstance(update, ObjectUpdate):
@@ -157,6 +162,7 @@ class BichromaticRnnMonitor:
         return frozenset(self._results[sid])
 
     def results(self) -> dict[int, frozenset[int]]:
+        """Current results of every site query (sid -> RNN customer set)."""
         return {sid: frozenset(v) for sid, v in self._results.items()}
 
     def nearest_site(self, oid: int) -> Optional[int]:
@@ -164,6 +170,7 @@ class BichromaticRnnMonitor:
         return self.assignment[oid]
 
     def drain_events(self) -> list[ResultChange]:
+        """Result deltas accumulated since the previous drain."""
         events, self._events = self._events, []
         return events
 

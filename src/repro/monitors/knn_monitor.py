@@ -65,6 +65,7 @@ class KnnMonitor:
     # Queries
     # ------------------------------------------------------------------
     def add_query(self, qid: int, pos: Point, k: int = 1) -> frozenset[int]:
+        """Register a k-NN query; returns its initial member set."""
         if qid in self._states:
             raise KeyError(f"query {qid} already registered")
         if k < 1:
@@ -76,6 +77,7 @@ class KnnMonitor:
         return state.member_ids()
 
     def remove_query(self, qid: int) -> None:
+        """Drop query ``qid``; returns whether it existed."""
         state = self._states.pop(qid)
         for cell in state.cells:
             cell.watchers.discard(qid)
@@ -90,12 +92,15 @@ class KnnMonitor:
         self._emit_diff(qid, before, state.member_ids())
 
     def knn(self, qid: int) -> frozenset[int]:
+        """The current k-NN member set of ``qid``."""
         return self._states[qid].member_ids()
 
     def ordered_knn(self, qid: int) -> list[tuple[float, int]]:
+        """The current k-NN of ``qid``, ascending by distance."""
         return list(self._states[qid].members)
 
     def drain_events(self) -> list[ResultChange]:
+        """Result deltas accumulated since the previous drain."""
         events, self._events = self._events, []
         return events
 
@@ -103,10 +108,12 @@ class KnnMonitor:
     # Objects
     # ------------------------------------------------------------------
     def add_object(self, oid: int, pos: Point) -> None:
+        """Register object ``oid`` at ``pos``."""
         self.grid.insert_object(oid, pos)
         self._handle(oid, None, pos)
 
     def update_object(self, oid: int, new_pos: Point) -> None:
+        """Move object ``oid`` (insert if unknown)."""
         if oid not in self.grid:
             self.add_object(oid, new_pos)
             return
@@ -115,10 +122,12 @@ class KnnMonitor:
             self._handle(oid, old_pos, new_pos)
 
     def remove_object(self, oid: int) -> None:
+        """Drop object ``oid``; returns whether it existed."""
         old_pos, _ = self.grid.delete_object(oid)
         self._handle(oid, old_pos, None)
 
     def process(self, updates: Iterable[ObjectUpdate]) -> list[ResultChange]:
+        """Apply one batch of updates; returns the event delta."""
         mark = len(self._events)
         for update in updates:
             if update.pos is None:

@@ -53,6 +53,7 @@ class RangeMonitor:
         return frozenset(result)
 
     def remove_query(self, qid: int) -> None:
+        """Drop range query ``qid``; returns whether it existed."""
         rect = self.ranges.pop(qid)
         for cell in self.grid.cells_in_rect(rect):
             cell.watchers.discard(qid)
@@ -73,10 +74,12 @@ class RangeMonitor:
     # Objects
     # ------------------------------------------------------------------
     def add_object(self, oid: int, pos: Point) -> None:
+        """Register object ``oid`` at ``pos``."""
         self.grid.insert_object(oid, pos)
         self._handle(oid, None, pos)
 
     def update_object(self, oid: int, new_pos: Point) -> None:
+        """Move object ``oid`` (insert if unknown)."""
         if oid not in self.grid:
             self.add_object(oid, new_pos)
             return
@@ -84,10 +87,12 @@ class RangeMonitor:
         self._handle(oid, old_pos, new_pos)
 
     def remove_object(self, oid: int) -> None:
+        """Drop object ``oid``; returns whether it existed."""
         old_pos, _ = self.grid.delete_object(oid)
         self._handle(oid, old_pos, None)
 
     def process(self, updates: Iterable[ObjectUpdate]) -> list[ResultChange]:
+        """Apply one batch of updates; returns the event delta."""
         mark = len(self._events)
         for update in updates:
             if update.pos is None:
@@ -100,9 +105,11 @@ class RangeMonitor:
     # Results
     # ------------------------------------------------------------------
     def result(self, qid: int) -> frozenset[int]:
+        """The current member set of range query ``qid``."""
         return frozenset(self._results[qid])
 
     def drain_events(self) -> list[ResultChange]:
+        """Result deltas accumulated since the previous drain."""
         events, self._events = self._events, []
         return events
 

@@ -95,6 +95,7 @@ class RknnMonitor:
     def add_query(
         self, qid: int, pos: Point, k: int = 1, exclude: Iterable[int] = ()
     ) -> frozenset[int]:
+        """Register an RkNN query; returns its initial result set."""
         if qid in self._queries:
             raise KeyError(f"query {qid} already registered")
         if k < 1:
@@ -106,6 +107,7 @@ class RknnMonitor:
         return frozenset(state.verified)
 
     def remove_query(self, qid: int) -> None:
+        """Drop query ``qid``; returns whether it existed."""
         state = self._queries.pop(qid)
         for sector in range(NUM_SECTORS):
             for cell in state.pie_cells[sector]:
@@ -113,6 +115,7 @@ class RknnMonitor:
         self._unregister_all_circles(state)
 
     def update_query(self, qid: int, new_pos: Point) -> None:
+        """Move query ``qid``: full recompute at the new position."""
         state = self._queries[qid]
         before = frozenset(state.verified)
         k, exclude = state.k, state.exclude
@@ -125,9 +128,11 @@ class RknnMonitor:
             self._events.append(ResultChange(qid, oid, gained=True))
 
     def rknn(self, qid: int) -> frozenset[int]:
+        """The current reverse-k-NN set of ``qid``."""
         return frozenset(self._queries[qid].verified)
 
     def drain_events(self) -> list[ResultChange]:
+        """Result deltas accumulated since the previous drain."""
         events, self._events = self._events, []
         return events
 
@@ -135,10 +140,12 @@ class RknnMonitor:
     # Objects
     # ------------------------------------------------------------------
     def add_object(self, oid: int, pos: Point) -> None:
+        """Register object ``oid`` at ``pos``."""
         self.grid.insert_object(oid, pos)
         self._handle(oid, None, pos)
 
     def update_object(self, oid: int, new_pos: Point) -> None:
+        """Move object ``oid`` (insert if unknown)."""
         if oid not in self.grid:
             self.add_object(oid, new_pos)
             return
@@ -147,10 +154,12 @@ class RknnMonitor:
             self._handle(oid, old_pos, new_pos)
 
     def remove_object(self, oid: int) -> None:
+        """Drop object ``oid``; returns whether it existed."""
         old_pos, _ = self.grid.delete_object(oid)
         self._handle(oid, old_pos, None)
 
     def process(self, updates: Iterable[Update]) -> list[ResultChange]:
+        """Apply one batch of updates; returns the event delta."""
         mark = len(self._events)
         for update in updates:
             if isinstance(update, ObjectUpdate):
@@ -291,6 +300,7 @@ class RknnMonitor:
     # Validation (tests)
     # ------------------------------------------------------------------
     def validate(self) -> None:
+        """Per-query invariants against a brute-force oracle; raises ``AssertionError``."""
         from repro.core.oracle import brute_force_rknn
 
         for qid, state in self._queries.items():

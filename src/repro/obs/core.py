@@ -165,6 +165,7 @@ class Observability:
     # Hot-path hooks (called by the monitor only when enabled)
     # ------------------------------------------------------------------
     def observe_batch(self, seconds: float, updates: int, changes: int) -> None:
+        """Record one processed batch: latency histogram, update/result-change totals."""
         self._batch_seconds.observe(seconds)
         self._batch_updates.observe(float(updates))
         self._batch_changes.observe(float(changes))

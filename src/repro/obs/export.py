@@ -202,16 +202,19 @@ class ObsHTTPServer:
 
     @property
     def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; raises if the server isn't running."""
         if self._httpd is None:
             raise RuntimeError("server not started")
         return self._httpd.server_address[:2]  # type: ignore[return-value]
 
     @property
     def url(self) -> str:
+        """Base URL of the running server (``http://host:port``)."""
         host, port = self.address
         return f"http://{host}:{port}"
 
     def start(self) -> "ObsHTTPServer":
+        """Bind the socket and serve scrapes from a daemon thread; returns self."""
         monitor = self.monitor
 
         class Handler(BaseHTTPRequestHandler):
@@ -254,6 +257,7 @@ class ObsHTTPServer:
         return self
 
     def stop(self) -> None:
+        """Shut the server down and join its thread."""
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()

@@ -48,6 +48,7 @@ class QueryHealth:
     last_result_change_batch: Optional[int] = None
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot of this query's health counters."""
         return asdict(self)
 
 
@@ -62,6 +63,7 @@ class QueryHealthTracker:
 
     # -- clock ----------------------------------------------------------
     def on_batch(self) -> None:
+        """Advance the tracker's batch clock by one tick."""
         self.batch += 1
 
     # -- lifecycle ------------------------------------------------------
@@ -72,19 +74,24 @@ class QueryHealthTracker:
         return h
 
     def forget(self, qid: int) -> None:
+        """Drop the health record of a removed query."""
         self._health.pop(qid, None)
 
     def get(self, qid: int) -> Optional[QueryHealth]:
+        """The health record of ``qid``, or ``None`` if never seen."""
         return self._health.get(qid)
 
     def all(self) -> dict[int, QueryHealth]:
+        """A copy of every tracked query's health record."""
         return dict(self._health)
 
     # -- event hooks ----------------------------------------------------
     def record_lazy_deferral(self, qid: int) -> None:
+        """Count one lazy-update deferral against ``qid``."""
         self._q(qid).lazy_deferrals += 1
 
     def record_certificate_recompute(self, qid: int, cause: str) -> None:
+        """Count one circ-certificate recompute and its cause."""
         h = self._q(qid)
         h.certificate_recomputes += 1
         h.recompute_causes[cause] = h.recompute_causes.get(cause, 0) + 1
@@ -92,9 +99,11 @@ class QueryHealthTracker:
         h.last_recompute_batch = self.batch
 
     def record_containment_shrink(self, qid: int) -> None:
+        """Count one containment-driven circle shrink against ``qid``."""
         self._q(qid).containment_shrinks += 1
 
     def record_recomputation(self, qid: int, cause: str) -> None:
+        """Count one full result recomputation and its cause."""
         h = self._q(qid)
         h.recomputations += 1
         h.recompute_causes[cause] = h.recompute_causes.get(cause, 0) + 1
@@ -102,6 +111,7 @@ class QueryHealthTracker:
         h.last_recompute_batch = self.batch
 
     def record_result_change(self, qid: int, gained: bool) -> None:
+        """Count one result gain or loss against ``qid``."""
         h = self._q(qid)
         if gained:
             h.result_gains += 1

@@ -59,13 +59,17 @@ class RateLimitedLogger:
 
     # -- level conveniences --------------------------------------------
     def debug(self, key: str, msg: str, *args: Any) -> None:
+        """Rate-limited DEBUG record under ``key``."""
         self.log(logging.DEBUG, key, msg, *args)
 
     def info(self, key: str, msg: str, *args: Any) -> None:
+        """Rate-limited INFO record under ``key``."""
         self.log(logging.INFO, key, msg, *args)
 
     def warning(self, key: str, msg: str, *args: Any) -> None:
+        """Rate-limited WARNING record under ``key``."""
         self.log(logging.WARNING, key, msg, *args)
 
     def error(self, key: str, msg: str, *args: Any) -> None:
+        """Rate-limited ERROR record under ``key``."""
         self.log(logging.ERROR, key, msg, *args)

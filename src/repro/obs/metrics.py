@@ -69,6 +69,7 @@ class Counter:
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (non-negative) to the counter."""
         if amount < 0:
             raise ValueError("counters only go up")
         self.value += amount
@@ -84,12 +85,15 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
         self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
         self.value -= amount
 
 
@@ -113,6 +117,7 @@ class Histogram:
         self.sum = 0.0
 
     def observe(self, value: float) -> None:
+        """Record one observation into the histogram's buckets."""
         self.count += 1
         self.sum += value
         for i, bound in enumerate(self.bounds):
@@ -248,15 +253,18 @@ class MetricsRegistry:
 
     def counter(self, name: str, help_text: str = "",
                 labelnames: Sequence[str] = ()) -> _Family:
+        """Register (or fetch) a counter family."""
         return self._register(name, help_text, "counter", labelnames, Counter)
 
     def gauge(self, name: str, help_text: str = "",
               labelnames: Sequence[str] = ()) -> _Family:
+        """Register (or fetch) a gauge family."""
         return self._register(name, help_text, "gauge", labelnames, Gauge)
 
     def histogram(self, name: str, help_text: str = "",
                   labelnames: Sequence[str] = (),
                   buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> _Family:
+        """Register (or fetch) a histogram family."""
         return self._register(
             name, help_text, "histogram", labelnames, lambda: Histogram(buckets)
         )
@@ -268,6 +276,7 @@ class MetricsRegistry:
         self._collectors.append(fn)
 
     def get(self, name: str) -> Optional[_Family]:
+        """The registered family called ``name``, or ``None``."""
         return self._families.get(name)
 
     # -- collection -----------------------------------------------------

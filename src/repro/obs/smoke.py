@@ -46,6 +46,7 @@ def _fail(msg: str) -> int:
 
 
 def run(quick: bool = False) -> int:
+    """The end-to-end observability smoke checks; returns a process exit code."""
     from repro.perf.bench import SMOKE, Workload, logical_subset
 
     wl = (
@@ -134,6 +135,7 @@ def run(quick: bool = False) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.obs.smoke``)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smaller workload (CI-friendly)")

@@ -96,6 +96,7 @@ class SpanSink:
     """Receives finished spans; subclasses override :meth:`emit`."""
 
     def emit(self, span: Span) -> None:
+        """Deliver one finished span (subclass hook)."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -106,6 +107,7 @@ class NullSink(SpanSink):
     """Discards every span."""
 
     def emit(self, span: Span) -> None:
+        """Discard the span."""
         pass
 
 
@@ -126,6 +128,7 @@ class InMemorySink(SpanSink):
         self.dropped = 0
 
     def emit(self, span: Span) -> None:
+        """Append the span, evicting the oldest when the ring is full."""
         if len(self._buf) == self.capacity:
             self.dropped += 1
         self._buf.append(span)
@@ -136,6 +139,7 @@ class InMemorySink(SpanSink):
         return list(self._buf)
 
     def clear(self) -> None:
+        """Empty the ring buffer."""
         self._buf.clear()
 
     def __len__(self) -> int:
@@ -151,14 +155,17 @@ class JsonlSink(SpanSink):
         self.emitted = 0
 
     def emit(self, span: Span) -> None:
+        """Append the span as one JSON line."""
         self._fh.write(json.dumps(span.to_dict(), sort_keys=True))
         self._fh.write("\n")
         self.emitted += 1
 
     def flush(self) -> None:
+        """Flush the underlying file."""
         self._fh.flush()
 
     def close(self) -> None:
+        """Flush and close the file."""
         if not self._fh.closed:
             self._fh.flush()
             self._fh.close()
@@ -291,9 +298,11 @@ class Tracer:
 
     @property
     def traces_started(self) -> int:
+        """Number of root spans started so far."""
         return self._trace_seq
 
     def close(self) -> None:
+        """Close the tracer's sink."""
         self.sink.close()
 
 

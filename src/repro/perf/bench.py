@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import random
 import sys
 import time
@@ -55,6 +57,23 @@ LOGICAL_COUNTERS = (
 #: criterion is measured on): everything ``process()`` does for object
 #: moves — grid maintenance, pie resolution, circ maintenance.
 UPDATE_PHASES = ("grid_moves", "pies", "circs")
+
+
+def host_fingerprint() -> dict[str, object]:
+    """Identify the machine a bench JSON was produced on.
+
+    Written into every bench artifact so downstream consumers (the
+    perf-regression suite in particular) can tell whether wall-clock
+    numbers in a checked-in baseline are comparable to the current host.
+    Logical counters never need this — they are machine-independent by
+    construction.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
 
 
 def logical_subset(counters: Mapping[str, int]) -> dict[str, int]:
@@ -92,6 +111,7 @@ class Workload:
         self.variant = variant
 
     def initial_batch(self, rng: random.Random) -> list:
+        """The t=0 batch: every object insert plus every query registration."""
         batch = [
             ObjectUpdate(oid, Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000)))
             for oid in range(self.n)
@@ -106,9 +126,12 @@ class Workload:
         return batch
 
     def tick_batch(self, rng: random.Random) -> list:
-        # Random-walk moves: short steps keep most updates inside a
-        # query's monitoring region's neighbourhood, like the paper's
-        # moving-object workloads.
+        """One tick's random-walk move batch.
+
+        Short steps keep most updates inside a query's monitoring
+        region's neighbourhood, like the paper's moving-object
+        workloads; 1% of moves are long relocations.
+        """
         batch = []
         for _ in range(self.moves_per_tick):
             oid = rng.randrange(self.n)
@@ -124,6 +147,7 @@ class Workload:
         return batch
 
     def run(self, vectorized: bool, observability: Optional[ObsConfig] = None) -> dict:
+        """One full pass over the stream; returns the timing/counter row."""
         rng = random.Random(self.seed)
         config = MonitorConfig(
             variant=self.variant,
@@ -242,6 +266,7 @@ def measure_observability(smoke: dict) -> dict:
 
 
 def run_suite(quick: bool = False) -> dict:
+    """Smoke (+ the Table-1 workloads unless ``quick``); returns the bench JSON."""
     entries = []
     smoke = SMOKE.measure()
     print(f"[bench] {SMOKE.name}: speedup {smoke['update_phase_speedup']}x",
@@ -265,6 +290,7 @@ def run_suite(quick: bool = False) -> dict:
     return {
         "schema": "repro-bench",
         "version": 1,
+        "host": host_fingerprint(),
         "smoke": {
             **smoke,
             "logical_counters": logical_subset(smoke["vectorized"]["counters"]),
@@ -275,6 +301,7 @@ def run_suite(quick: bool = False) -> dict:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.perf.bench``)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_pr2.json",
                         help="output JSON path (default: %(default)s)")

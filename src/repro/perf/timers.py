@@ -55,6 +55,7 @@ class PhaseTimers:
         self.counts[name] = self.counts.get(name, 0) + 1
 
     def reset(self) -> None:
+        """Zero every accumulated phase."""
         self.totals.clear()
         self.counts.clear()
 
@@ -63,6 +64,7 @@ class PhaseTimers:
         return {name: total * 1e3 for name, total in sorted(self.totals.items())}
 
     def total_seconds(self) -> float:
+        """Sum of all phase accumulators, in seconds."""
         return sum(self.totals.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -154,6 +154,7 @@ class RdnnIndex:
     # Validation (tests)
     # ------------------------------------------------------------------
     def validate(self) -> None:
+        """Structural invariants of the RdNN index; raises ``AssertionError``."""
         self.tree.validate()
         for oid, pos in self.positions.items():
             true_dnn = min(

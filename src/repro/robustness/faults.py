@@ -47,6 +47,7 @@ class FaultSpec:
     seed: int = 0
 
     def active(self) -> bool:
+        """Whether any fault probability is nonzero."""
         return any((self.drop, self.duplicate, self.reorder, self.stale, self.corrupt))
 
     @classmethod
@@ -76,11 +77,13 @@ class FaultLog:
     events: list[InjectedFault] = field(default_factory=list)
 
     def count(self, kind: Optional[str] = None) -> int:
+        """Number of injected faults, optionally of one ``kind``."""
         if kind is None:
             return len(self.events)
         return sum(1 for e in self.events if e.kind == kind)
 
     def counts(self) -> dict[str, int]:
+        """Injected-fault totals keyed by kind."""
         out: dict[str, int] = {}
         for e in self.events:
             out[e.kind] = out.get(e.kind, 0) + 1

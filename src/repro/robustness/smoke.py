@@ -100,6 +100,7 @@ def run_checkpoint_roundtrip(spec: WorkloadSpec, faults: FaultSpec, seed: int):
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.robustness.smoke``)."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick", action="store_true", help="smaller workload (CI smoke job)"

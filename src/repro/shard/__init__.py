@@ -1,0 +1,24 @@
+"""Space-partitioned parallel execution for CRNN monitoring.
+
+The grid is cut into ``K`` column stripes (:class:`StripePlan`); each
+stripe's queries run on their own :class:`ShardEngine`, driven either by
+the deterministic in-process :class:`SerialExecutor` or by a
+``multiprocessing`` pool (:class:`ProcessExecutor`).  The public entry
+point is :class:`ShardedCRNNMonitor`, a drop-in for
+:class:`~repro.core.monitor.CRNNMonitor` whose event stream and logical
+counters are bit-identical to the single-shard monitor's.
+"""
+
+from repro.shard.engine import ShardEngine
+from repro.shard.executor import ProcessExecutor, SerialExecutor, TickReport
+from repro.shard.monitor import ShardedCRNNMonitor
+from repro.shard.plan import StripePlan
+
+__all__ = [
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardEngine",
+    "ShardedCRNNMonitor",
+    "StripePlan",
+    "TickReport",
+]

@@ -1,0 +1,368 @@
+"""One shard's compute engine: an inner monitor plus event attribution.
+
+A :class:`ShardEngine` owns the monitoring state (query table, pie
+registrations, FUR circ store) of the queries that live in its stripe,
+wrapped around an ordinary :class:`~repro.core.monitor.CRNNMonitor`
+whose grid is either *shared* with the coordinator (serial executor) or
+a *private full replica* (process executor).  The engine drives the
+inner monitor's phases one attribution unit at a time — one query's pie
+resolution, one move's circ step — and tags every emitted
+:class:`~repro.core.events.ResultChange` with a sort key that encodes
+where in the single-monitor execution order the event would have
+occurred.  Merging all shards' tagged streams by key therefore
+reconstructs the single monitor's event stream bit for bit (the parity
+contract of DESIGN §9).
+
+Tag layout (6-tuple of ints, lexicographic):
+
+==========================  ==========================================
+``(1, qid, 0, 0, 0, 0)``    pies phase, resolution of query ``qid``
+``(2, m, 0, 0, qid, sec)``  circs phase, move ``m``, step 1 on record
+                            ``(qid, sec)``
+``(2, m, 1, cand, qid, sec)`` circs phase, move ``m``, step 2 shrink of
+                            ``(qid, sec)`` via FUR entry ``cand``
+``(3, j, 0, 0, 0, 0)``      queries phase / API query op ``j``
+==========================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.config import MonitorConfig
+from repro.core.events import ResultChange
+from repro.core.monitor import CRNNMonitor, apply_grid_updates
+from repro.core.update_pie import (
+    _resolve_affected,
+    build_affected_map,
+    build_affected_map_vector,
+    handle_update_pies_for_query,
+)
+from repro.geometry.point import Point
+from repro.grid.index import GridIndex
+from repro.shard.plan import StripePlan
+
+__all__ = ["ShardEngine", "TaggedEvent"]
+
+#: A result-change event paired with its global-order sort key.
+TaggedEvent = tuple[tuple[int, int, int, int, int, int], ResultChange]
+
+_PHASE_PIES = 1
+_PHASE_CIRCS = 2
+_PHASE_QUERIES = 3
+
+
+class ShardEngine:
+    """The per-shard execution unit (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        The monitor configuration; its ``observability`` field is
+        stripped (shard-level observability belongs to the coordinator)
+        and it must select a FUR-store variant.
+    plan:
+        The stripe plan this engine participates in.
+    shard:
+        This engine's shard index in ``[0, plan.shards)``.
+    grid:
+        A shared grid index to attach to (serial executor), or ``None``
+        to own a private replica (process executor).
+    """
+
+    def __init__(
+        self,
+        config: MonitorConfig,
+        plan: StripePlan,
+        shard: int,
+        grid: Optional[GridIndex] = None,
+    ):
+        if not config.uses_fur_store:
+            raise ValueError(
+                "sharding requires a FUR-store variant ('lu-only' or 'lu+pi'); "
+                f"got {config.variant!r}"
+            )
+        if config.observability is not None:
+            config = replace(config, observability=None)
+        self.plan = plan
+        self.shard = shard
+        self.inner = CRNNMonitor(config, grid=grid)
+        self.owns_grid = grid is None
+        #: Event index in ``inner._events`` -> sort tag, filled by the
+        #: emit wrapper below and by :meth:`_fill_query_tags`.
+        self._tags: dict[int, tuple[int, int, int, int, int, int]] = {}
+        self._phase = 0
+        self._current_qid = 0
+        self._query_seq = 0
+        self._install_emit_wrapper()
+
+    # ------------------------------------------------------------------
+    # Event attribution
+    # ------------------------------------------------------------------
+    def _install_emit_wrapper(self) -> None:
+        inner = self.inner
+        orig = inner._on_result_change
+
+        def tagged_emit(change: ResultChange) -> None:
+            before = len(inner._events)
+            orig(change)
+            if len(inner._events) > before:
+                self._tags[before] = self._tag()
+
+        # The circ store captured the bound method at construction;
+        # rebind its emit attribute so every store-driven emission is
+        # observed.  Monitor-direct appends (update_query net diffs) are
+        # tagged after the fact by _fill_query_tags.
+        inner.circ.emit = tagged_emit
+
+    def _tag(self) -> tuple[int, int, int, int, int, int]:
+        """The sort key of the attribution unit currently executing."""
+        if self._phase == _PHASE_PIES:
+            return (_PHASE_PIES, self._current_qid, 0, 0, 0, 0)
+        if self._phase == _PHASE_CIRCS:
+            circ = self.inner.circ
+            ctx = circ.emit_ctx
+            if ctx and ctx[0] == 1:  # step 2: (1, cand, qid, sector)
+                return (_PHASE_CIRCS, circ.move_seq, 1, ctx[1], ctx[2], ctx[3])
+            if ctx and ctx[0] == 0:  # step 1: (0, qid, sector)
+                return (_PHASE_CIRCS, circ.move_seq, 0, 0, ctx[1], ctx[2])
+            return (_PHASE_CIRCS, circ.move_seq, 0, 0, 0, 0)
+        return (_PHASE_QUERIES, self._query_seq, 0, 0, 0, 0)
+
+    def _fill_query_tags(self, mark: int) -> None:
+        """Tag events a query op appended outside the emit wrapper."""
+        tag = (_PHASE_QUERIES, self._query_seq, 0, 0, 0, 0)
+        for i in range(mark, len(self.inner._events)):
+            self._tags.setdefault(i, tag)
+
+    def drain_tagged(self) -> list[TaggedEvent]:
+        """All tagged events accumulated since the previous drain."""
+        events = self.inner._events
+        self.inner._events = []
+        tags, self._tags = self._tags, {}
+        out: list[TaggedEvent] = []
+        for i, event in enumerate(events):
+            tag = tags.get(i)
+            assert tag is not None, f"untagged shard event at index {i}: {event}"
+            out.append((tag, event))
+        return out
+
+    # ------------------------------------------------------------------
+    # Object phases (one tick)
+    # ------------------------------------------------------------------
+    def tick_object_phases(
+        self, sanitized: list, want_halo: bool = False
+    ) -> tuple[int, int, Optional[dict[int, int]]]:
+        """Process-mode tick: grid replica + pies + circs in one call.
+
+        Applies the batch's object updates to the private grid replica,
+        then runs this shard's pie and circ maintenance over the full
+        move list.  Returns ``(n_moves, n_circ_moves, halo)``: the
+        second component counts moves with a surviving position (the
+        single-monitor containment-query count the coordinator needs
+        for counter aggregation), and ``halo`` is the per-shard
+        boundary-crossing count (computed from the move list, only when
+        ``want_halo`` — one worker reporting for the fleet is enough).
+        Only valid when this engine owns its grid.
+        """
+        assert self.owns_grid, "serial engines receive grid state from outside"
+        inner = self.inner
+        moves: list[tuple[int, Optional[Point], Optional[Point]]] = []
+        query_updates: list = []
+        apply_grid_updates(inner.grid, sanitized, inner.vectorized, moves, query_updates)
+        if moves:
+            if inner.vectorized:
+                affected = build_affected_map_vector(inner, moves)
+            else:
+                affected = build_affected_map(inner, moves)
+            self.resolve_pies(affected)
+            self.run_circs(moves)
+        n_circ = sum(1 for _oid, _old, new in moves if new is not None)
+        halo = self.plan.halo_counts(moves) if want_halo else None
+        return len(moves), n_circ, halo
+
+    def resolve_pies(self, affected: dict[int, set[int]]) -> None:
+        """Pie maintenance for this shard's affected queries.
+
+        ``affected`` may contain foreign qids (the serial executor
+        builds one map on the shared grid); anything not in this
+        engine's query table is skipped.  Each owned query is resolved
+        with the exact single-monitor batch logic, one query at a time
+        so its events carry a per-query tag.
+        """
+        inner = self.inner
+        self._phase = _PHASE_PIES
+        try:
+            for qid in sorted(affected):
+                if qid not in inner.qt:
+                    continue
+                self._current_qid = qid
+                _resolve_affected(inner, {qid: affected[qid]})
+        finally:
+            self._phase = 0
+
+    def run_circs(
+        self, moves: list[tuple[int, Optional[Point], Optional[Point]]]
+    ) -> None:
+        """Circ maintenance over the full batch move list.
+
+        Every shard scans all moves: a move far from this stripe is a
+        cheap no-op against the shard's small FUR tree / NN-hash, and
+        scanning everything is what makes in-batch circle growth (a
+        re-search may install a certificate anywhere) sound — see
+        DESIGN §9 for why pre-routing circ moves by region is not.
+        """
+        inner = self.inner
+        self._phase = _PHASE_CIRCS
+        try:
+            if inner.vectorized:
+                inner.circ.process_moves(moves)
+            else:
+                for i, (oid, old_pos, new_pos) in enumerate(moves):
+                    inner.circ.move_seq = i
+                    inner.circ.handle_update(oid, old_pos, new_pos)
+        finally:
+            self._phase = 0
+
+    # ------------------------------------------------------------------
+    # Scalar object ops (single-call API parity)
+    # ------------------------------------------------------------------
+    def apply_scalar(
+        self,
+        kind: str,
+        oid: int,
+        new_pos: Optional[Point],
+        old_pos: Optional[Point] = None,
+    ) -> bool:
+        """One object insert/move/delete through the scalar code path.
+
+        Mirrors the single monitor's ``add_object`` / ``update_object``
+        / ``remove_object`` internals (which count pie cases differently
+        from the batched path, so the facade must not funnel scalar API
+        calls through ``process()``).  When this engine owns its grid
+        the primitive is applied to the replica first and ``old_pos`` is
+        derived; a shared-grid engine receives ``old_pos`` from the
+        coordinator, which already applied the primitive.  Returns
+        whether the update had any effect (a move to the same position
+        does not).
+        """
+        inner = self.inner
+        grid = inner.grid
+        if self.owns_grid:
+            if kind == "insert":
+                grid.insert_object(oid, new_pos)
+                old_pos = None
+            elif kind == "move":
+                old_pos, _, _ = grid.move_object(oid, new_pos)
+                if old_pos == new_pos:
+                    return False
+            elif kind == "delete":
+                old_pos, _ = grid.delete_object(oid)
+                new_pos = None
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown scalar op {kind!r}")
+        elif kind == "delete":
+            new_pos = None
+        affected: set[int] = set()
+        if old_pos is not None:
+            affected.update(grid.cell_at(old_pos).pie_queries)
+        if new_pos is not None:
+            affected.update(grid.cell_at(new_pos).pie_queries)
+        self._phase = _PHASE_PIES
+        try:
+            for qid in sorted(affected):
+                if qid not in inner.qt:
+                    continue
+                self._current_qid = qid
+                handle_update_pies_for_query(inner, inner.qt.get(qid), oid, new_pos)
+        finally:
+            self._phase = 0
+        self._phase = _PHASE_CIRCS
+        inner.circ.move_seq = 0
+        try:
+            inner.circ.handle_update(oid, old_pos, new_pos)
+        finally:
+            self._phase = 0
+        return True
+
+    # ------------------------------------------------------------------
+    # Query ops (owner-side)
+    # ------------------------------------------------------------------
+    def add_query(
+        self, qid: int, pos: Point, exclude: frozenset[int], seq: int = 0
+    ) -> frozenset[int]:
+        """Register an owned query; returns its initial RNN set."""
+        self._phase = _PHASE_QUERIES
+        self._query_seq = seq
+        mark = len(self.inner._events)
+        try:
+            result = self.inner.add_query(qid, pos, exclude)
+        finally:
+            self._fill_query_tags(mark)
+            self._phase = 0
+        return result
+
+    def remove_query(self, qid: int, seq: int = 0) -> bool:
+        """Deregister an owned query (loss events are emitted)."""
+        self._phase = _PHASE_QUERIES
+        self._query_seq = seq
+        mark = len(self.inner._events)
+        try:
+            return self.inner.remove_query(qid)
+        finally:
+            self._fill_query_tags(mark)
+            self._phase = 0
+
+    def update_query(self, qid: int, pos: Point, seq: int = 0) -> None:
+        """Recompute an owned query at a new position (same stripe)."""
+        self._phase = _PHASE_QUERIES
+        self._query_seq = seq
+        mark = len(self.inner._events)
+        try:
+            self.inner.update_query(qid, pos)
+        finally:
+            self._fill_query_tags(mark)
+            self._phase = 0
+
+    def remove_query_silent(self, qid: int) -> None:
+        """Migration helper: drop a query without emitting events."""
+        inner = self.inner
+        inner._log_events = False
+        try:
+            inner.remove_query(qid)
+        finally:
+            inner._log_events = True
+
+    def add_query_silent(
+        self, qid: int, pos: Point, exclude: frozenset[int]
+    ) -> frozenset[int]:
+        """Migration helper: adopt a query without emitting events."""
+        inner = self.inner
+        inner._log_events = False
+        try:
+            return inner.add_query(qid, pos, exclude)
+        finally:
+            inner._log_events = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def validate(self, foreign_qid_ok=None) -> None:
+        """Run the inner monitor's invariant checks for this shard.
+
+        With a shared grid, sibling shards' pie registrations appear in
+        shared cells; the coordinator supplies ``foreign_qid_ok`` (a
+        predicate confirming the qid is live on another shard) so dead
+        registrations still fail.  With a private grid every
+        registration must be owned and no predicate is accepted.
+        """
+        if self.owns_grid:
+            assert foreign_qid_ok is None, "private-grid shards own every registration"
+            self.inner.validate()
+        else:
+            self.inner.validate(foreign_qid_ok=foreign_qid_ok)
+        for st in self.inner.qt:
+            assert self.plan.owner_of(st.pos) == self.shard, (
+                f"query q{st.qid} at {st.pos} is misplaced on shard {self.shard}"
+            )

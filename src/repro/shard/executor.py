@@ -1,0 +1,454 @@
+"""Shard executors: the serial twin and the multiprocessing pool.
+
+Both executors present the same coordinator-facing API (tick the object
+phases, run one query op on an owner shard, introspect), so
+:class:`~repro.shard.monitor.ShardedCRNNMonitor` has a single code
+path.  :class:`SerialExecutor` runs every engine in-process against
+**one shared grid** — deterministic, debuggable, zero IPC — while
+:class:`ProcessExecutor` runs each engine in its own worker process
+against a **private full grid replica**, broadcasting the sanitized
+batch to all workers (scatter) and collecting tagged event streams
+(gather).  The two modes produce identical event streams and logical
+counters by construction; the differential tests lock that down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+from repro.core.config import MonitorConfig
+from repro.core.monitor import apply_grid_updates
+from repro.core.stats import StatCounters
+from repro.core.update_pie import build_affected_map, build_affected_map_vector
+from repro.geometry.point import Point
+from repro.grid.index import GridIndex
+from repro.shard.engine import ShardEngine, TaggedEvent
+from repro.shard.plan import StripePlan
+
+__all__ = ["SerialExecutor", "ProcessExecutor", "TickReport"]
+
+
+@dataclass
+class TickReport:
+    """What one tick's object phases produced, executor-agnostic."""
+
+    #: Tagged result-change events from every shard (unmerged).
+    tagged: list[TaggedEvent] = field(default_factory=list)
+    #: Object moves the batch applied to the position plane.
+    n_moves: int = 0
+    #: Moves with a surviving position — the single-monitor
+    #: containment-query count the coordinator aggregates with.
+    n_circ_moves: int = 0
+    #: shard -> boundary-crossing moves entering its halo this tick.
+    halo: dict[int, int] = field(default_factory=dict)
+
+
+class _MapShim:
+    """Duck-typed stand-in for the ``monitor`` argument of
+    :func:`build_affected_map` / ``_vector`` (they only read ``.grid``
+    and ``.stats``), letting the coordinator build the affected map on
+    the shared grid without owning a full monitor."""
+
+    __slots__ = ("grid", "stats")
+
+    def __init__(self, grid: GridIndex, stats: StatCounters):
+        self.grid = grid
+        self.stats = stats
+
+
+class SerialExecutor:
+    """Deterministic in-process executor over one shared grid.
+
+    The coordinator applies grid maintenance exactly once (the shared
+    position plane), builds the affected-query map once, and drives each
+    engine's pie/circ phases sequentially.  This is the reference
+    against which the process pool is tested, and the right choice on a
+    single core (no IPC, no replication).
+    """
+
+    mode = "serial"
+
+    def __init__(
+        self,
+        config: MonitorConfig,
+        plan: StripePlan,
+        stats: StatCounters,
+        tracer: Any = None,
+    ):
+        self.config = config
+        self.plan = plan
+        self.stats = stats
+        self.vectorized = config.vectorized and _have_numpy()
+        self.grid = GridIndex(config.bounds, config.grid_cells, stats)
+        if tracer is not None:
+            self.grid.tracer = tracer
+        if not self.vectorized:
+            self.grid.vector_enabled = False
+        self.engines = [
+            ShardEngine(config, plan, k, grid=self.grid) for k in range(plan.shards)
+        ]
+        self._shim = _MapShim(self.grid, stats)
+
+    # -- object phases --------------------------------------------------
+    def tick(self, sanitized: list) -> TickReport:
+        """Grid + pies + circs for one sanitized batch."""
+        report = TickReport()
+        moves: list[tuple[int, Optional[Point], Optional[Point]]] = []
+        query_updates: list = []
+        apply_grid_updates(self.grid, sanitized, self.vectorized, moves, query_updates)
+        report.n_moves = len(moves)
+        if moves:
+            if self.vectorized:
+                affected = build_affected_map_vector(self._shim, moves)
+            else:
+                affected = build_affected_map(self._shim, moves)
+            for engine in self.engines:
+                engine.resolve_pies(affected)
+            for engine in self.engines:
+                engine.run_circs(moves)
+            report.n_circ_moves = sum(
+                1 for _oid, _old, new in moves if new is not None
+            )
+            report.halo = self.plan.halo_counts(moves)
+        for engine in self.engines:
+            report.tagged.extend(engine.drain_tagged())
+        return report
+
+    # -- scalar object ops ----------------------------------------------
+    def scalar(
+        self, kind: str, oid: int, new_pos: Optional[Point]
+    ) -> tuple[bool, list[TaggedEvent]]:
+        """Apply one insert/move/delete primitive everywhere relevant."""
+        if kind == "insert":
+            self.grid.insert_object(oid, new_pos)
+            old_pos: Optional[Point] = None
+        elif kind == "move":
+            old_pos, _, _ = self.grid.move_object(oid, new_pos)
+            if old_pos == new_pos:
+                return False, []
+        elif kind == "delete":
+            old_pos, _ = self.grid.delete_object(oid)
+            new_pos = None
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown scalar op {kind!r}")
+        for engine in self.engines:
+            engine.apply_scalar(kind, oid, new_pos, old_pos=old_pos)
+        tagged: list[TaggedEvent] = []
+        for engine in self.engines:
+            tagged.extend(engine.drain_tagged())
+        return True, tagged
+
+    # -- query ops (owner-side) ------------------------------------------
+    def add_query(
+        self, shard: int, qid: int, pos: Point, exclude: frozenset[int], seq: int = 0
+    ) -> tuple[frozenset[int], list[TaggedEvent]]:
+        """Register ``qid`` on shard ``shard``; returns (result, tagged events)."""
+        result = self.engines[shard].add_query(qid, pos, exclude, seq)
+        return result, self.engines[shard].drain_tagged()
+
+    def remove_query(
+        self, shard: int, qid: int, seq: int = 0
+    ) -> tuple[bool, list[TaggedEvent]]:
+        """Remove ``qid`` from its owner shard; returns (removed, tagged events)."""
+        removed = self.engines[shard].remove_query(qid, seq)
+        return removed, self.engines[shard].drain_tagged()
+
+    def update_query(
+        self, shard: int, qid: int, pos: Point, seq: int = 0
+    ) -> list[TaggedEvent]:
+        """Recompute ``qid`` at ``pos`` on its owner; returns tagged events."""
+        self.engines[shard].update_query(qid, pos, seq)
+        return self.engines[shard].drain_tagged()
+
+    def remove_query_silent(self, shard: int, qid: int) -> None:
+        """Migration helper: remove ``qid`` without emitting events."""
+        self.engines[shard].remove_query_silent(qid)
+
+    def add_query_silent(
+        self, shard: int, qid: int, pos: Point, exclude: frozenset[int]
+    ) -> frozenset[int]:
+        """Migration helper: re-register ``qid`` without events; returns its result."""
+        return self.engines[shard].add_query_silent(qid, pos, exclude)
+
+    # -- introspection ---------------------------------------------------
+    def monitoring_region(self, shard: int, qid: int):
+        """The owner engine's pie/circ view of ``qid``."""
+        return self.engines[shard].inner.monitoring_region(qid)
+
+    def shard_results(self, shard: int) -> dict[int, frozenset[int]]:
+        """Results of every query owned by shard ``shard``."""
+        return self.engines[shard].inner.results()
+
+    def shard_stats(self) -> list[StatCounters]:
+        """Each shard engine's counter object, in shard order."""
+        return [engine.inner.stats for engine in self.engines]
+
+    def validate(self, foreign_qid_ok: Callable[[int], bool]) -> None:
+        """Run every engine's invariants (``foreign_qid_ok`` excuses sibling pies)."""
+        for engine in self.engines:
+            engine.validate(foreign_qid_ok=foreign_qid_ok)
+
+    def object_count(self) -> int:
+        """Objects in the shared grid."""
+        return len(self.grid)
+
+    def close(self) -> None:
+        """Nothing to tear down in-process."""
+
+
+# ----------------------------------------------------------------------
+# Process pool
+# ----------------------------------------------------------------------
+def _have_numpy() -> bool:
+    from repro.perf import HAVE_NUMPY
+
+    return HAVE_NUMPY
+
+
+def _worker_main(conn, config: MonitorConfig, plan_args: tuple, shard: int) -> None:
+    """Worker process loop: build one private-grid engine, serve RPCs.
+
+    Runs until a ``close`` request (or EOF on the pipe).  Every request
+    is a ``(op, *args)`` tuple; every reply is ``("ok", payload)`` or
+    ``("err", repr)`` so coordinator-side errors carry context.
+    """
+    from repro.geometry.rect import Rect
+
+    plan = StripePlan(Rect(*plan_args[0]), plan_args[1], plan_args[2])
+    engine = ShardEngine(config, plan, shard, grid=None)
+    while True:
+        try:
+            request = conn.recv()
+        except EOFError:
+            break
+        op, args = request[0], request[1:]
+        try:
+            if op == "tick":
+                # Worker 0 additionally reports halo traffic for every
+                # shard (it sees the same full move list as everyone).
+                n_moves, n_circ, halo = engine.tick_object_phases(
+                    args[0], want_halo=(shard == 0)
+                )
+                payload = (engine.drain_tagged(), n_moves, n_circ, halo)
+            elif op == "scalar":
+                applied = engine.apply_scalar(args[0], args[1], args[2])
+                payload = (applied, engine.drain_tagged())
+            elif op == "add_query":
+                result = engine.add_query(args[0], args[1], args[2], args[3])
+                payload = (result, engine.drain_tagged())
+            elif op == "remove_query":
+                removed = engine.remove_query(args[0], args[1])
+                payload = (removed, engine.drain_tagged())
+            elif op == "update_query":
+                engine.update_query(args[0], args[1], args[2])
+                payload = engine.drain_tagged()
+            elif op == "remove_silent":
+                engine.remove_query_silent(args[0])
+                payload = None
+            elif op == "add_silent":
+                payload = engine.add_query_silent(args[0], args[1], args[2])
+            elif op == "region":
+                payload = engine.inner.monitoring_region(args[0])
+            elif op == "results":
+                payload = engine.inner.results()
+            elif op == "stats":
+                payload = engine.inner.stats
+            elif op == "validate":
+                engine.validate()
+                payload = None
+            elif op == "object_count":
+                payload = len(engine.inner.grid)
+            elif op == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+            conn.send(("ok", payload))
+        except BaseException as exc:  # noqa: BLE001 - relayed to coordinator
+            import traceback
+
+            conn.send(("err", f"{exc!r}\n{traceback.format_exc()}"))
+    conn.close()
+
+
+class ProcessExecutor:
+    """Multiprocessing executor: one worker process per shard.
+
+    Each worker holds a full private grid replica; object updates are
+    broadcast to everyone (the replicated-plane protocol, DESIGN §9)
+    while query ops go to the owner only.  A tick is one scatter (send
+    the sanitized batch to all workers, who then compute concurrently)
+    followed by one gather (collect tagged events).  Determinism: each
+    worker's computation depends only on the broadcast stream, and the
+    tag merge is order-insensitive, so results are bit-identical to the
+    serial executor.
+    """
+
+    mode = "process"
+
+    def __init__(
+        self,
+        config: MonitorConfig,
+        plan: StripePlan,
+        stats: StatCounters,
+        tracer: Any = None,
+        mp_context: str = "fork",
+    ):
+        import multiprocessing as mp
+
+        self.config = config
+        self.plan = plan
+        self.vectorized = config.vectorized and _have_numpy()
+        worker_config = replace(config, observability=None)
+        try:
+            ctx = mp.get_context(mp_context)
+        except ValueError:  # pragma: no cover - platform fallback
+            ctx = mp.get_context("spawn")
+        plan_args = (tuple(plan.bounds), plan.n, plan.shards)
+        self._conns = []
+        self._procs = []
+        try:
+            for k in range(plan.shards):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child, worker_config, plan_args, k),
+                    daemon=True,
+                    name=f"crnn-shard-{k}",
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+        self._closed = False
+
+    # -- RPC plumbing ----------------------------------------------------
+    def _call(self, shard: int, op: str, *args) -> Any:
+        self._conns[shard].send((op, *args))
+        return self._recv(shard)
+
+    def _recv(self, shard: int) -> Any:
+        status, payload = self._conns[shard].recv()
+        if status != "ok":
+            raise RuntimeError(f"shard {shard} worker failed: {payload}")
+        return payload
+
+    def _broadcast(self, op: str, *args) -> list[Any]:
+        """Send to all workers first, then collect — workers overlap."""
+        for conn in self._conns:
+            conn.send((op, *args))
+        return [self._recv(k) for k in range(len(self._conns))]
+
+    # -- object phases --------------------------------------------------
+    def tick(self, sanitized: list) -> TickReport:
+        """Broadcast one sanitized batch; merge replies, assert replica agreement."""
+        report = TickReport()
+        replies = self._broadcast("tick", sanitized)
+        n_moves = {r[1] for r in replies}
+        n_circ = {r[2] for r in replies}
+        assert len(n_moves) == 1 and len(n_circ) == 1, (
+            "shard replicas diverged on the applied move list"
+        )
+        report.n_moves = n_moves.pop()
+        report.n_circ_moves = n_circ.pop()
+        for reply in replies:
+            report.tagged.extend(reply[0])
+        if replies[0][3] is not None:
+            report.halo = replies[0][3]
+        return report
+
+    # -- scalar object ops ----------------------------------------------
+    def scalar(
+        self, kind: str, oid: int, new_pos: Optional[Point]
+    ) -> tuple[bool, list[TaggedEvent]]:
+        """Broadcast one insert/move/delete primitive to every worker."""
+        replies = self._broadcast("scalar", kind, oid, new_pos)
+        applied = {r[0] for r in replies}
+        assert len(applied) == 1, "shard replicas diverged on a scalar update"
+        tagged: list[TaggedEvent] = []
+        for reply in replies:
+            tagged.extend(reply[1])
+        return applied.pop(), tagged
+
+    # -- query ops (owner-side) ------------------------------------------
+    def add_query(
+        self, shard: int, qid: int, pos: Point, exclude: frozenset[int], seq: int = 0
+    ) -> tuple[frozenset[int], list[TaggedEvent]]:
+        """Owner-side RPC of :meth:`SerialExecutor.add_query`."""
+        return self._call(shard, "add_query", qid, pos, exclude, seq)
+
+    def remove_query(
+        self, shard: int, qid: int, seq: int = 0
+    ) -> tuple[bool, list[TaggedEvent]]:
+        """Owner-side RPC of :meth:`SerialExecutor.remove_query`."""
+        return self._call(shard, "remove_query", qid, seq)
+
+    def update_query(
+        self, shard: int, qid: int, pos: Point, seq: int = 0
+    ) -> list[TaggedEvent]:
+        """Owner-side RPC of :meth:`SerialExecutor.update_query`."""
+        return self._call(shard, "update_query", qid, pos, seq)
+
+    def remove_query_silent(self, shard: int, qid: int) -> None:
+        """Owner-side RPC of the silent-remove migration helper."""
+        self._call(shard, "remove_silent", qid)
+
+    def add_query_silent(
+        self, shard: int, qid: int, pos: Point, exclude: frozenset[int]
+    ) -> frozenset[int]:
+        """Owner-side RPC of the silent-add migration helper."""
+        return self._call(shard, "add_silent", qid, pos, exclude)
+
+    # -- introspection ---------------------------------------------------
+    def monitoring_region(self, shard: int, qid: int):
+        """Owner-side RPC: the worker's pie/circ view of ``qid``."""
+        return self._call(shard, "region", qid)
+
+    def shard_results(self, shard: int) -> dict[int, frozenset[int]]:
+        """Owner-side RPC: results owned by shard ``shard``."""
+        return self._call(shard, "results")
+
+    def shard_stats(self) -> list[StatCounters]:
+        """Every worker's counter snapshot, in shard order."""
+        return self._broadcast("stats")
+
+    def validate(self, foreign_qid_ok: Callable[[int], bool]) -> None:
+        # Private replicas carry no foreign registrations; the predicate
+        # is a shared-grid concern and is intentionally unused here.
+        """Run every worker's invariants over its private replica."""
+        self._broadcast("validate")
+
+    def object_count(self) -> int:
+        """Objects in worker 0's grid replica."""
+        return self._call(0, "object_count")
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        for conn in getattr(self, "_conns", []):
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in getattr(self, "_conns", []):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown robustness
+                pass
+        for proc in getattr(self, "_procs", []):
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - teardown robustness
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    def __del__(self):  # pragma: no cover - GC-time best effort
+        try:
+            self.close()
+        except Exception:
+            pass

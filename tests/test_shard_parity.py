@@ -1,0 +1,454 @@
+"""Sharded-vs-single-monitor parity (the PR-4 tentpole contract).
+
+:class:`ShardedCRNNMonitor` must be **bit-identical** to a single
+:class:`CRNNMonitor` fed the same stream: same ``drain_events()``
+sequence, same ``results()``, same ``monitoring_region()`` per query,
+and the same logical counters (:data:`LOGICAL_COUNTERS`) — for every
+shard count, in both executor modes, with and without the vectorized
+kernels, on clean streams and on the resilience harness's mild-fault
+streams.  Plus the knife-edges: queries exactly on stripe boundaries,
+circ-regions spanning three stripes, and objects teleporting across
+``K-1`` shards in one tick.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MonitorConfig
+from repro.core.events import ObjectUpdate, QueryUpdate
+from repro.core.monitor import CRNNMonitor
+from repro.geometry.point import Point
+from repro.perf import HAVE_NUMPY
+from repro.perf.bench import LOGICAL_COUNTERS
+from repro.robustness.audit import AuditPolicy, InvariantAuditor
+from repro.robustness.faults import FaultInjector, FaultSpec
+from repro.shard import ShardedCRNNMonitor
+
+from .conftest import TEST_BOUNDS
+from .test_robustness_fuzz import _random_batches
+
+GOLDEN_SEEDS = (11, 29)
+SHARD_COUNTS = (1, 2, 4, 8)
+VECTOR_MODES = (False, True) if HAVE_NUMPY else (False,)
+
+
+def _config(vectorized: bool = False, **kwargs) -> MonitorConfig:
+    kwargs.setdefault("grid_cells", 12)
+    return MonitorConfig(
+        variant="lu+pi", bounds=TEST_BOUNDS, vectorized=vectorized, **kwargs
+    )
+
+
+def _pair(shards: int, executor: str = "serial", vectorized: bool = False, **kwargs):
+    cfg = _config(vectorized=vectorized, **kwargs)
+    return CRNNMonitor(cfg), ShardedCRNNMonitor(cfg, shards=shards, executor=executor)
+
+
+def _assert_lockstep(mono: CRNNMonitor, sharded: ShardedCRNNMonitor, context: str):
+    assert sharded.drain_events() == mono.drain_events(), context
+    assert sharded.results() == mono.results(), context
+    for qid in sorted(mono.qt.ids()):
+        assert sharded.monitoring_region(qid) == mono.monitoring_region(qid), (
+            f"{context}: region of q{qid}"
+        )
+
+
+def _assert_logical_counters(mono: CRNNMonitor, sharded: ShardedCRNNMonitor, ctx: str):
+    single = mono.stats.snapshot()
+    agg = sharded.aggregated_stats().snapshot()
+    for name in LOGICAL_COUNTERS:
+        assert single[name] == agg[name], f"{ctx}: {name} {single[name]} != {agg[name]}"
+
+
+def _drive(mono, sharded, batches, context):
+    for t, batch in enumerate(batches):
+        mono.process(batch)
+        sharded.process(batch)
+        _assert_lockstep(mono, sharded, f"{context} t={t}")
+    _assert_logical_counters(mono, sharded, context)
+    mono.validate()
+    sharded.validate()
+
+
+class TestGoldenParity:
+    @pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_clean_stream_event_for_event(self, shards, seed):
+        mono, sharded = _pair(shards)
+        with sharded:
+            _drive(
+                mono, sharded,
+                _random_batches(random.Random(seed), timestamps=12),
+                f"K={shards} seed={seed}",
+            )
+
+    @pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_mild_fault_stream_event_for_event(self, shards, seed):
+        # The resilience mild fault mix through identically-guarded
+        # monitors: drops, duplicates, reorders, stale replays.
+        batches = list(
+            FaultInjector(FaultSpec.mild(seed=seed)).stream(
+                _random_batches(random.Random(seed), timestamps=12)
+            )
+        )
+        mono, sharded = _pair(shards, guard_policy="drop")
+        with sharded:
+            _drive(mono, sharded, batches, f"mild K={shards} seed={seed}")
+            assert sharded.guard.violation_counts() == mono.guard.violation_counts()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="vectorized mode inert")
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_vectorized_stream_event_for_event(self, shards):
+        mono, sharded = _pair(shards, vectorized=True)
+        with sharded:
+            _drive(
+                mono, sharded,
+                _random_batches(random.Random(404), timestamps=12),
+                f"vec K={shards}",
+            )
+
+    @pytest.mark.parametrize("vectorized", VECTOR_MODES)
+    def test_scalar_api_parity(self, vectorized):
+        # The non-batched facade surface: add/update/remove for both
+        # objects and queries, one call at a time.  The drop policy
+        # keeps double-deletes as counted no-ops on both sides.
+        mono, sharded = _pair(4, vectorized=vectorized, guard_policy="drop")
+        rng = random.Random(17)
+
+        def pt():
+            return Point(
+                rng.uniform(TEST_BOUNDS.xmin, TEST_BOUNDS.xmax),
+                rng.uniform(TEST_BOUNDS.ymin, TEST_BOUNDS.ymax),
+            )
+
+        with sharded:
+            for oid in range(60):
+                p = pt()
+                mono.add_object(oid, p)
+                sharded.add_object(oid, p)
+            for qid in range(100, 112):
+                p = pt()
+                assert mono.add_query(qid, p) == sharded.add_query(qid, p)
+            _assert_lockstep(mono, sharded, "after load")
+            for step in range(120):
+                r = rng.random()
+                if r < 0.6:
+                    oid, p = rng.randrange(60), pt()
+                    mono.update_object(oid, p)
+                    sharded.update_object(oid, p)
+                elif r < 0.8:
+                    qid, p = rng.randrange(100, 112), pt()
+                    mono.update_query(qid, p)
+                    sharded.update_query(qid, p)
+                elif r < 0.9:
+                    oid = rng.randrange(60, 80)
+                    p = pt()
+                    mono.add_object(oid, p)
+                    sharded.add_object(oid, p)
+                else:
+                    oid = rng.randrange(80)
+                    assert mono.remove_object(oid) == sharded.remove_object(oid)
+                _assert_lockstep(mono, sharded, f"scalar step={step}")
+            assert sharded.guard.violation_counts() == mono.guard.violation_counts()
+            _assert_logical_counters(mono, sharded, "scalar api")
+            mono.validate()
+            sharded.validate()
+
+
+class TestProcessExecutor:
+    @pytest.mark.parametrize("vectorized", VECTOR_MODES)
+    def test_process_pool_parity(self, vectorized):
+        mono, sharded = _pair(2, executor="process", vectorized=vectorized)
+        with sharded:
+            _drive(
+                mono, sharded,
+                _random_batches(random.Random(29), timestamps=8),
+                f"process vec={vectorized}",
+            )
+
+    def test_process_pool_scalar_and_query_ops(self):
+        mono, sharded = _pair(2, executor="process")
+        rng = random.Random(7)
+        with sharded:
+            for oid in range(30):
+                p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                mono.add_object(oid, p)
+                sharded.add_object(oid, p)
+            for qid in (500, 501, 502):
+                p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                assert mono.add_query(qid, p) == sharded.add_query(qid, p)
+            # Cross-stripe query migration through worker RPC.
+            mono.update_query(500, Point(990.0, 500.0))
+            sharded.update_query(500, Point(990.0, 500.0))
+            assert mono.remove_query(501) == sharded.remove_query(501)
+            _assert_lockstep(mono, sharded, "process scalar ops")
+            _assert_logical_counters(mono, sharded, "process scalar ops")
+            sharded.validate()
+
+    def test_close_is_idempotent(self):
+        _, sharded = _pair(2, executor="process")
+        sharded.close()
+        sharded.close()
+
+
+class TestKnifeEdges:
+    def test_query_exactly_on_stripe_boundary(self):
+        # A query point sitting precisely on an interior stripe edge:
+        # owned by the right-hand stripe (grid truncation), results
+        # identical to the single monitor, and a later move of exactly
+        # one ulp left migrates it.
+        mono, sharded = _pair(4)
+        with sharded:
+            edge_x = sharded.plan.boundaries()[1]
+            rng = random.Random(23)
+            for oid in range(40):
+                p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                mono.add_object(oid, p)
+                sharded.add_object(oid, p)
+            q = Point(edge_x, 500.0)
+            assert mono.add_query(900, q) == sharded.add_query(900, q)
+            assert sharded.shard_of(900) == 2
+            _assert_lockstep(mono, sharded, "boundary query")
+            # Objects crossing right over the query's cell column.
+            for tick in range(4):
+                batch = [
+                    ObjectUpdate(
+                        oid,
+                        Point(rng.uniform(edge_x - 50, edge_x + 50),
+                              rng.uniform(400, 600)),
+                    )
+                    for oid in range(0, 40, 3)
+                ]
+                mono.process(batch)
+                sharded.process(batch)
+                _assert_lockstep(mono, sharded, f"boundary tick={tick}")
+            nudged = Point(edge_x - 1e-9, 500.0)
+            mono.update_query(900, nudged)
+            sharded.update_query(900, nudged)
+            assert sharded.shard_of(900) == 1
+            _assert_lockstep(mono, sharded, "after ulp migration")
+            _assert_logical_counters(mono, sharded, "boundary")
+            sharded.validate()
+
+    def test_circ_region_spanning_three_stripes(self):
+        # K=8 on a 16-column grid: stripes are two columns (125 units)
+        # wide.  A sparse population forces circ-region radii of several
+        # hundred units, so candidate circles straddle >= 3 stripes; the
+        # full-move-list circ protocol must keep every stripe's view
+        # exact.
+        mono, sharded = _pair(8, grid_cells=16)
+        with sharded:
+            positions = {
+                1: Point(60.0, 500.0),     # stripe 0
+                2: Point(500.0, 520.0),    # stripe 3/4 border area
+                3: Point(940.0, 480.0),    # stripe 7
+            }
+            for oid, p in positions.items():
+                mono.add_object(oid, p)
+                sharded.add_object(oid, p)
+            q = Point(500.0, 500.0)
+            assert mono.add_query(700, q) == sharded.add_query(700, q)
+            region = sharded.monitoring_region(700)
+            spanned = {
+                sharded.plan.owner_of(Point(x, 500.0))
+                for cr in region.circs
+                for x in (cr.circle.center[0] - cr.circle.radius,
+                          cr.circle.center[0],
+                          cr.circle.center[0] + cr.circle.radius)
+            }
+            assert len(spanned) >= 3, f"circs stay within {spanned}"
+            # Churn every candidate through all three thirds of space.
+            rng = random.Random(31)
+            for tick in range(6):
+                batch = [
+                    ObjectUpdate(oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+                    for oid in positions
+                ]
+                mono.process(batch)
+                sharded.process(batch)
+                _assert_lockstep(mono, sharded, f"3-stripe tick={tick}")
+            _assert_logical_counters(mono, sharded, "3-stripe circ")
+            sharded.validate()
+
+    def test_object_teleporting_across_all_stripes_in_one_tick(self):
+        # One batch moves an object from stripe 0 to stripe K-1 (and a
+        # duplicate report bounces it back): the guard collapses
+        # duplicates per its policy and the halo metric charges both
+        # endpoint stripes.  Event streams stay identical.
+        mono, sharded = _pair(8, guard_policy="drop")
+        with sharded:
+            rng = random.Random(41)
+            for oid in range(30):
+                p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                mono.add_object(oid, p)
+                sharded.add_object(oid, p)
+            for qid, x in ((800, 60.0), (801, 500.0), (802, 940.0)):
+                p = Point(x, 500.0)
+                assert mono.add_query(qid, p) == sharded.add_query(qid, p)
+            mono.drain_events()
+            sharded.drain_events()
+            teleporter = Point(10.0, 500.0)
+            mono.update_object(0, teleporter)
+            sharded.update_object(0, teleporter)
+            batch = [
+                ObjectUpdate(0, Point(995.0, 500.0)),  # stripe 0 -> stripe 7
+                ObjectUpdate(0, Point(15.0, 505.0)),   # duplicate report, back
+                ObjectUpdate(1, Point(12.0, 495.0)),
+            ]
+            ev_mono = mono.process(batch)
+            ev_shard = sharded.process(batch)
+            assert ev_mono == ev_shard
+            assert mono.results() == sharded.results()
+            assert mono.guard.violation_counts() == sharded.guard.violation_counts()
+            _assert_logical_counters(mono, sharded, "teleport")
+            sharded.validate()
+
+    def test_halo_accounting_on_teleport(self):
+        plan_probe = ShardedCRNNMonitor(_config(), shards=4)
+        with plan_probe:
+            plan_probe.add_object(1, Point(10.0, 10.0))
+            report = plan_probe.executor.tick(
+                plan_probe.guard.sanitize_batch([ObjectUpdate(1, Point(990.0, 10.0))])
+            )
+            assert report.halo == {0: 1, 3: 1}
+
+
+class TestPerShardInvariants:
+    def test_auditor_runs_clean_per_shard(self):
+        # The invariant auditor, pointed at each shard engine's inner
+        # monitor: every owned query's result must match the brute-force
+        # oracle over the full (shared) position plane.
+        _, sharded = _pair(4)
+        rng = random.Random(53)
+        with sharded:
+            for oid in range(80):
+                sharded.add_object(
+                    oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                )
+            for qid in range(300, 316):
+                sharded.add_query(
+                    qid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                )
+            sharded.process(
+                [
+                    ObjectUpdate(oid, Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+                    for oid in range(0, 80, 2)
+                ]
+            )
+            for engine in sharded.executor.engines:
+                auditor = InvariantAuditor(
+                    engine.inner, AuditPolicy(sample_queries=100, deep_every=0)
+                )
+                # deep=False: the structural pass is the coordinator's
+                # job (shared-grid cells carry sibling registrations).
+                report = auditor.audit(deep=False)
+                assert report.clean, report
+            sharded.validate()
+
+    def test_validate_catches_mirror_divergence(self):
+        _, sharded = _pair(2)
+        with sharded:
+            sharded.add_object(1, Point(100.0, 100.0))
+            sharded.add_query(10, Point(110.0, 100.0))
+            sharded.validate()
+            sharded._results[10].discard(1)
+            with pytest.raises(AssertionError):
+                sharded.validate()
+
+
+class TestFacadeSurface:
+    def test_counts_and_summary(self):
+        _, sharded = _pair(2)
+        with sharded:
+            sharded.add_object(1, Point(1.0, 1.0))
+            sharded.add_object(2, Point(999.0, 999.0))
+            sharded.add_query(10, Point(2.0, 2.0))
+            assert sharded.object_count() == 2
+            assert sharded.query_count() == 1
+            summary = sharded.summary()
+            assert summary["objects"] == 2.0
+            assert summary["queries"] == 1.0
+            assert summary["shards"] == 2.0
+            # Both objects: each is nearer to the query than to the
+            # other object, so both are reverse nearest neighbours.
+            assert sharded.rnn(10) == frozenset({1, 2})
+            with pytest.raises(KeyError):
+                sharded.rnn(999)
+            with pytest.raises(KeyError):
+                sharded.update_query(999, Point(5.0, 5.0))
+
+    def test_requires_fur_variant(self):
+        cfg = MonitorConfig(variant="uniform", bounds=TEST_BOUNDS)
+        with pytest.raises(ValueError):
+            ShardedCRNNMonitor(cfg, shards=2)
+        with pytest.raises(ValueError):
+            ShardedCRNNMonitor(_config(), shards=2, executor="threads")
+
+    def test_exclude_survives_migration(self):
+        mono, sharded = _pair(4)
+        with sharded:
+            for oid, p in ((1, Point(60.0, 500.0)), (2, Point(940.0, 500.0))):
+                mono.add_object(oid, p)
+                sharded.add_object(oid, p)
+            # Bichromatic-style exclusion: object 1 never counts for q.
+            r1 = mono.add_query(20, Point(55.0, 505.0), exclude=(1,))
+            r2 = sharded.add_query(20, Point(55.0, 505.0), exclude=(1,))
+            assert r1 == r2
+            # Migrate across the space; the exclude set must ride along.
+            mono.update_query(20, Point(945.0, 505.0))
+            sharded.update_query(20, Point(945.0, 505.0))
+            _assert_lockstep(mono, sharded, "excluded migration")
+            assert 1 not in sharded.rnn(20)
+            sharded.validate()
+
+
+# ----------------------------------------------------------------------
+# Property-based differential test
+# ----------------------------------------------------------------------
+_coord = st.floats(
+    min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+_action = st.tuples(
+    st.sampled_from(("obj", "obj", "obj", "del", "query")),
+    st.integers(min_value=0, max_value=15),
+    _coord,
+    _coord,
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    shards=st.sampled_from(SHARD_COUNTS),
+    script=st.lists(st.lists(_action, min_size=1, max_size=6), min_size=1, max_size=6),
+)
+def test_differential_hypothesis(shards, script):
+    """Any action script produces identical event streams and counters."""
+    mono, sharded = _pair(shards, guard_policy="drop")
+    with sharded:
+        live: set[int] = set()
+        for t, actions in enumerate(script):
+            batch = []
+            for kind, ident, x, y in actions:
+                if kind == "obj":
+                    batch.append(ObjectUpdate(ident, Point(x, y)))
+                    live.add(ident)
+                elif kind == "del":
+                    batch.append(ObjectUpdate(ident, None))
+                    live.discard(ident)
+                else:
+                    batch.append(QueryUpdate(1000 + ident, Point(x, y)))
+            assert mono.process(batch) == sharded.process(batch), f"t={t}"
+            assert mono.results() == sharded.results(), f"t={t}"
+        _assert_logical_counters(mono, sharded, "hypothesis")
+        mono.validate()
+        sharded.validate()
