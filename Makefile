@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check smoke obs-smoke bench bench-check bench-paper docs docs-lint experiments experiments-quick examples clean
+.PHONY: install test check smoke obs-smoke chaos-smoke chaos-heavy bench bench-recovery bench-check bench-paper docs docs-lint experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,11 +10,12 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# What CI runs: the tier-1 suite, the fault-injection smoke job, and
-# the docstring-coverage floor.
+# What CI runs: the tier-1 suite, the fault-injection smoke job, the
+# seeded worker-kill loop, and the docstring-coverage floor.
 check:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro.robustness.smoke --quick
+	PYTHONPATH=src $(PYTHON) -m repro.shard.chaos --seconds 60
 	$(PYTHON) tools/docstring_coverage.py --fail-under 85 src/repro
 
 smoke:
@@ -25,11 +26,28 @@ smoke:
 obs-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.smoke --quick
 
+# Seeded 60-second worker-kill loop: SIGKILLs every worker every 5th
+# tick and asserts the drained events and logical counters stay
+# bit-identical to an unsharded monitor on the same stream.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.shard.chaos --seconds 60
+
+# The full deterministic fault matrix (K x kill-point x fault-kind),
+# excluded from the default pytest run by the `chaos` marker.
+chaos-heavy:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_shard_chaos.py -m chaos
+
 # Scalar-vs-vectorized perf suite plus the shard K-sweep; regenerates
 # both checked-in baselines.
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --out BENCH_pr2.json
 	PYTHONPATH=src $(PYTHON) -m repro.shard.bench --out BENCH_pr4.json
+
+# Supervision-overhead suite: K=2 process executor with the fault-
+# tolerance layer off vs on (no faults injected); regenerates
+# BENCH_pr6.json. Acceptance: <= 5% update-phase overhead.
+bench-recovery:
+	PYTHONPATH=src $(PYTHON) -m repro.shard.bench --pr6 --out BENCH_pr6.json
 
 # Regression gate against the checked-in BENCH_pr2.json (what CI runs).
 bench-check:

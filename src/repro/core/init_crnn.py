@@ -111,7 +111,11 @@ def init_crnn(
     def visit_cell(cell: Cell) -> None:
         nonlocal unfinished
         grid.stats.cells_visited += 1
-        for oid in cell.objects:
+        # Canonical visit order: the candidate choice under distance
+        # ties and the seeded certificates are first-seen-wins, and a
+        # set's iteration order depends on its mutation history — which
+        # a crash-recovery rebuild does not share.
+        for oid in sorted(cell.objects):
             if oid in exclude:
                 continue
             pos = grid.positions[oid]

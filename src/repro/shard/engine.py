@@ -43,7 +43,7 @@ from repro.geometry.point import Point
 from repro.grid.index import GridIndex
 from repro.shard.plan import StripePlan
 
-__all__ = ["ShardEngine", "TaggedEvent"]
+__all__ = ["ShardEngine", "TaggedEvent", "dispatch_op"]
 
 #: A result-change event paired with its global-order sort key.
 TaggedEvent = tuple[tuple[int, int, int, int, int, int], ResultChange]
@@ -95,6 +95,20 @@ class ShardEngine:
         self._phase = 0
         self._current_qid = 0
         self._query_seq = 0
+        self._install_emit_wrapper()
+
+    def adopt_inner(self, monitor: CRNNMonitor) -> None:
+        """Swap in a rehydrated inner monitor (crash recovery).
+
+        Used by :func:`repro.shard.journal.rehydrate_engine` after an
+        exact restore: the engine keeps its shard identity and tag
+        machinery but adopts the rebuilt monitor (which owns a private
+        grid) and re-installs the emit wrapper on its circ store.
+        """
+        self.inner = monitor
+        self.owns_grid = True
+        self._tags = {}
+        self._phase = 0
         self._install_emit_wrapper()
 
     # ------------------------------------------------------------------
@@ -366,3 +380,63 @@ class ShardEngine:
             assert self.plan.owner_of(st.pos) == self.shard, (
                 f"query q{st.qid} at {st.pos} is misplaced on shard {self.shard}"
             )
+
+
+# ----------------------------------------------------------------------
+# Executor-protocol dispatch
+# ----------------------------------------------------------------------
+def dispatch_op(engine: ShardEngine, op: str, args: tuple) -> object:
+    """Execute one executor-protocol request against ``engine``.
+
+    The single source of truth for the coordinator↔shard op set, shared
+    by the worker-process loop (:func:`repro.shard.executor._worker_main`)
+    and the degraded in-process channel
+    (:class:`repro.shard.supervisor._LocalShard`), so a stripe behaves
+    identically whether it runs in a worker or in the coordinator.
+    Lifecycle ops (``close``, ``restore``, ``arm``, ``checkpoint``) are
+    the channel's concern and are *not* handled here.  Raises
+    ``ValueError`` for unknown ops.
+    """
+    if op == "tick":
+        # Worker 0 additionally reports halo traffic for every shard
+        # (it sees the same full move list as everyone).
+        n_moves, n_circ, halo = engine.tick_object_phases(
+            args[0], want_halo=(engine.shard == 0)
+        )
+        return (engine.drain_tagged(), n_moves, n_circ, halo)
+    if op == "scalar":
+        applied = engine.apply_scalar(args[0], args[1], args[2])
+        return (applied, engine.drain_tagged())
+    if op == "add_query":
+        result = engine.add_query(args[0], args[1], args[2], args[3])
+        return (result, engine.drain_tagged())
+    if op == "remove_query":
+        removed = engine.remove_query(args[0], args[1])
+        return (removed, engine.drain_tagged())
+    if op == "update_query":
+        engine.update_query(args[0], args[1], args[2])
+        return engine.drain_tagged()
+    if op == "remove_silent":
+        engine.remove_query_silent(args[0])
+        return None
+    if op == "add_silent":
+        return engine.add_query_silent(args[0], args[1], args[2])
+    if op == "region":
+        return engine.inner.monitoring_region(args[0])
+    if op == "results":
+        return engine.inner.results()
+    if op == "stats":
+        return engine.inner.stats
+    if op == "queries":
+        return [
+            (st.qid, st.pos, frozenset(st.exclude))
+            for st in sorted(engine.inner.qt, key=lambda s: s.qid)
+        ]
+    if op == "positions":
+        return dict(engine.inner.grid.positions)
+    if op == "validate":
+        engine.validate()
+        return None
+    if op == "object_count":
+        return len(engine.inner.grid)
+    raise ValueError(f"unknown worker op {op!r}")

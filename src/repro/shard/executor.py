@@ -1,4 +1,4 @@
-"""Shard executors: the serial twin and the multiprocessing pool.
+"""Shard executors: the serial twin and the supervised multiprocessing pool.
 
 Both executors present the same coordinator-facing API (tick the object
 phases, run one query op on an owner shard, introspect), so
@@ -10,10 +10,24 @@ against a **private full grid replica**, broadcasting the sanitized
 batch to all workers (scatter) and collecting tagged event streams
 (gather).  The two modes produce identical event streams and logical
 counters by construction; the differential tests lock that down.
+
+Every process-executor exchange flows through a
+:class:`~repro.shard.supervisor.ShardSupervisor`: worker failures
+surface as typed :class:`~repro.shard.supervisor.ShardWorkerError`\\ s,
+and — when a :class:`~repro.shard.supervisor.SupervisionConfig` is
+supplied — dead, hung, or protocol-violating workers are respawned and
+rebuilt bit-identically from exact checkpoints plus the tick journal
+(DESIGN §10), invisibly to the coordinator.  Worker teardown is
+guaranteed by a ``weakref.finalize`` guard (which also runs at
+interpreter exit), so children are reaped even when ``__init__`` dies
+partway through spawning or the owner forgets to call ``close()``.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import weakref
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
@@ -23,10 +37,21 @@ from repro.core.stats import StatCounters
 from repro.core.update_pie import build_affected_map, build_affected_map_vector
 from repro.geometry.point import Point
 from repro.grid.index import GridIndex
-from repro.shard.engine import ShardEngine, TaggedEvent
+from repro.shard.engine import ShardEngine, TaggedEvent, dispatch_op
 from repro.shard.plan import StripePlan
+from repro.shard.supervisor import (
+    ShardSupervisor,
+    ShardWorkerError,
+    SupervisionConfig,
+    SupervisorHooks,
+)
 
-__all__ = ["SerialExecutor", "ProcessExecutor", "TickReport"]
+__all__ = [
+    "SerialExecutor",
+    "ProcessExecutor",
+    "TickReport",
+    "ShardWorkerError",
+]
 
 
 @dataclass
@@ -184,6 +209,17 @@ class SerialExecutor:
         """Each shard engine's counter object, in shard order."""
         return [engine.inner.stats for engine in self.engines]
 
+    def shard_queries(self, shard: int) -> list[tuple[int, Point, frozenset[int]]]:
+        """``(qid, pos, exclude)`` of every query on shard ``shard``."""
+        return [
+            (st.qid, st.pos, frozenset(st.exclude))
+            for st in sorted(self.engines[shard].inner.qt, key=lambda s: s.qid)
+        ]
+
+    def object_positions(self) -> dict[int, Point]:
+        """Ground-truth object positions (checkpoint support)."""
+        return dict(self.grid.positions)
+
     def validate(self, foreign_qid_ok: Callable[[int], bool]) -> None:
         """Run every engine's invariants (``foreign_qid_ok`` excuses sibling pies)."""
         for engine in self.engines:
@@ -206,65 +242,70 @@ def _have_numpy() -> bool:
     return HAVE_NUMPY
 
 
-def _worker_main(conn, config: MonitorConfig, plan_args: tuple, shard: int) -> None:
+def _worker_main(
+    conn,
+    config: MonitorConfig,
+    plan_args: tuple,
+    shard: int,
+    chaos=None,
+    incarnation: int = 0,
+) -> None:
     """Worker process loop: build one private-grid engine, serve RPCs.
 
     Runs until a ``close`` request (or EOF on the pipe).  Every request
     is a ``(op, *args)`` tuple; every reply is ``("ok", payload)`` or
-    ``("err", repr)`` so coordinator-side errors carry context.
+    ``("err", repr)`` so coordinator-side errors carry context.  The op
+    set itself lives in :func:`~repro.shard.engine.dispatch_op`; this
+    loop adds the lifecycle ops — ``close``, ``restore`` (rebuild the
+    engine from an exact checkpoint), ``arm`` (start chaos injection),
+    ``checkpoint`` (exact state capture) — and, when a
+    :class:`~repro.shard.chaos.ChaosSpec` is supplied, the seeded fault
+    injection around each request.
     """
+    import time as _time
+
     from repro.geometry.rect import Rect
+    from repro.shard.chaos import ChaosAgent
+    from repro.shard.journal import engine_snapshot, rehydrate_engine
 
     plan = StripePlan(Rect(*plan_args[0]), plan_args[1], plan_args[2])
     engine = ShardEngine(config, plan, shard, grid=None)
+    agent = ChaosAgent(chaos, shard, incarnation) if chaos is not None else None
     while True:
         try:
             request = conn.recv()
-        except EOFError:
+        except (EOFError, OSError):
             break
         op, args = request[0], request[1:]
+        action = agent.plan(op) if agent is not None else None
+        if action is not None:
+            if action.delay:
+                _time.sleep(action.delay)
+            if action.kill_point == "mid_tick":
+                os.kill(os.getpid(), signal.SIGKILL)
         try:
-            if op == "tick":
-                # Worker 0 additionally reports halo traffic for every
-                # shard (it sees the same full move list as everyone).
-                n_moves, n_circ, halo = engine.tick_object_phases(
-                    args[0], want_halo=(shard == 0)
-                )
-                payload = (engine.drain_tagged(), n_moves, n_circ, halo)
-            elif op == "scalar":
-                applied = engine.apply_scalar(args[0], args[1], args[2])
-                payload = (applied, engine.drain_tagged())
-            elif op == "add_query":
-                result = engine.add_query(args[0], args[1], args[2], args[3])
-                payload = (result, engine.drain_tagged())
-            elif op == "remove_query":
-                removed = engine.remove_query(args[0], args[1])
-                payload = (removed, engine.drain_tagged())
-            elif op == "update_query":
-                engine.update_query(args[0], args[1], args[2])
-                payload = engine.drain_tagged()
-            elif op == "remove_silent":
-                engine.remove_query_silent(args[0])
-                payload = None
-            elif op == "add_silent":
-                payload = engine.add_query_silent(args[0], args[1], args[2])
-            elif op == "region":
-                payload = engine.inner.monitoring_region(args[0])
-            elif op == "results":
-                payload = engine.inner.results()
-            elif op == "stats":
-                payload = engine.inner.stats
-            elif op == "validate":
-                engine.validate()
-                payload = None
-            elif op == "object_count":
-                payload = len(engine.inner.grid)
-            elif op == "close":
+            if op == "close":
                 conn.send(("ok", None))
                 break
+            if op == "restore":
+                engine = rehydrate_engine(config, plan, shard, args[0])
+                payload = None
+            elif op == "arm":
+                if agent is not None:
+                    agent.arm()
+                payload = None
+            elif op == "checkpoint":
+                payload = engine_snapshot(engine)
             else:
-                raise ValueError(f"unknown worker op {op!r}")
-            conn.send(("ok", payload))
+                payload = dispatch_op(engine, op, args)
+            if action is not None and action.kill_point == "pre_reply":
+                os.kill(os.getpid(), signal.SIGKILL)
+            if action is not None and action.malform:
+                conn.send("garbled reply (chaos)")
+            else:
+                conn.send(("ok", payload))
+            if action is not None and action.kill_point == "post_reply":
+                os.kill(os.getpid(), signal.SIGKILL)
         except BaseException as exc:  # noqa: BLE001 - relayed to coordinator
             import traceback
 
@@ -272,8 +313,35 @@ def _worker_main(conn, config: MonitorConfig, plan_args: tuple, shard: int) -> N
     conn.close()
 
 
+def _spawn_worker(ctx, worker_config, plan_args, shard, chaos, incarnation):
+    """Start one shard worker process; returns ``(process, pipe)``.
+
+    A module-level seam so tests can simulate spawn failures and the
+    supervisor can respawn replacement incarnations through the same
+    path as the initial fleet.
+    """
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(
+        target=_worker_main,
+        args=(child, worker_config, plan_args, shard, chaos, incarnation),
+        daemon=True,
+        name=f"crnn-shard-{shard}",
+    )
+    proc.start()
+    child.close()
+    return proc, parent
+
+
+def _finalize_supervisor(supervisor) -> None:
+    """``weakref.finalize`` target: reap workers at GC/interpreter exit."""
+    try:
+        supervisor.close()
+    except Exception:  # pragma: no cover - teardown best effort
+        pass
+
+
 class ProcessExecutor:
-    """Multiprocessing executor: one worker process per shard.
+    """Supervised multiprocessing executor: one worker process per shard.
 
     Each worker holds a full private grid replica; object updates are
     broadcast to everyone (the replicated-plane protocol, DESIGN §9)
@@ -283,6 +351,26 @@ class ProcessExecutor:
     worker's computation depends only on the broadcast stream, and the
     tag merge is order-insensitive, so results are bit-identical to the
     serial executor.
+
+    Parameters
+    ----------
+    config, plan, stats, tracer, mp_context:
+        As before (PR 4): monitor config, stripe plan, coordinator
+        counters, optional tracer, multiprocessing start method.
+    supervision:
+        Optional :class:`~repro.shard.supervisor.SupervisionConfig`.
+        When set, exchanges carry an op deadline, mutating requests are
+        journaled, per-shard exact checkpoints are taken on a cadence,
+        and worker crash/hang/protocol failures are recovered
+        bit-identically (DESIGN §10).  When ``None``, the PR-4 protocol
+        runs unchanged — failures surface as typed
+        :class:`~repro.shard.supervisor.ShardWorkerError`\\ s.
+    chaos:
+        Optional :class:`~repro.shard.chaos.ChaosSpec` injected into
+        every worker (testing only).
+    hooks:
+        Optional :class:`~repro.shard.supervisor.SupervisorHooks` for
+        metric emission on recovery transitions.
     """
 
     mode = "process"
@@ -294,54 +382,66 @@ class ProcessExecutor:
         stats: StatCounters,
         tracer: Any = None,
         mp_context: str = "fork",
+        supervision: Optional[SupervisionConfig] = None,
+        chaos: Any = None,
+        hooks: Optional[SupervisorHooks] = None,
     ):
         import multiprocessing as mp
 
         self.config = config
         self.plan = plan
         self.vectorized = config.vectorized and _have_numpy()
-        worker_config = replace(config, observability=None)
+        self._worker_config = replace(config, observability=None)
         try:
-            ctx = mp.get_context(mp_context)
+            self._ctx = mp.get_context(mp_context)
         except ValueError:  # pragma: no cover - platform fallback
-            ctx = mp.get_context("spawn")
-        plan_args = (tuple(plan.bounds), plan.n, plan.shards)
-        self._conns = []
-        self._procs = []
+            self._ctx = mp.get_context("spawn")
+        self._plan_args = (tuple(plan.bounds), plan.n, plan.shards)
+        self._chaos = chaos
+        # The supervisor's callbacks close over plain data, never over
+        # ``self``: the finalize guard below keeps the supervisor alive,
+        # so any supervisor->executor reference would make the executor
+        # permanently reachable and the guard would never fire on GC.
+        ctx, worker_config, plan_args = self._ctx, self._worker_config, self._plan_args
+
+        def spawn(shard: int, incarnation: int):
+            # _spawn_worker resolved at call time (monkeypatch seam).
+            return _spawn_worker(
+                ctx, worker_config, plan_args, shard, chaos, incarnation
+            )
+
+        def local_factory(shard: int, snap: dict) -> ShardEngine:
+            from repro.shard.journal import rehydrate_engine
+
+            return rehydrate_engine(worker_config, plan, shard, snap)
+
+        self.supervisor = ShardSupervisor(
+            shards=plan.shards,
+            spawn=spawn,
+            local_factory=local_factory,
+            config=supervision,
+            chaos=chaos,
+            hooks=hooks,
+        )
+        # The finalizer fires on GC and at interpreter exit, so workers
+        # are reaped even when __init__ fails mid-spawn below or the
+        # owner never calls close().
+        self._finalizer = weakref.finalize(
+            self, _finalize_supervisor, self.supervisor
+        )
         try:
-            for k in range(plan.shards):
-                parent, child = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child, worker_config, plan_args, k),
-                    daemon=True,
-                    name=f"crnn-shard-{k}",
-                )
-                proc.start()
-                child.close()
-                self._conns.append(parent)
-                self._procs.append(proc)
+            self.supervisor.start()
         except BaseException:
             self.close()
             raise
-        self._closed = False
 
     # -- RPC plumbing ----------------------------------------------------
     def _call(self, shard: int, op: str, *args) -> Any:
-        self._conns[shard].send((op, *args))
-        return self._recv(shard)
-
-    def _recv(self, shard: int) -> Any:
-        status, payload = self._conns[shard].recv()
-        if status != "ok":
-            raise RuntimeError(f"shard {shard} worker failed: {payload}")
-        return payload
+        return self.supervisor.request(shard, (op, *args))
 
     def _broadcast(self, op: str, *args) -> list[Any]:
         """Send to all workers first, then collect — workers overlap."""
-        for conn in self._conns:
-            conn.send((op, *args))
-        return [self._recv(k) for k in range(len(self._conns))]
+        return self.supervisor.broadcast((op, *args))
 
     # -- object phases --------------------------------------------------
     def tick(self, sanitized: list) -> TickReport:
@@ -359,6 +459,7 @@ class ProcessExecutor:
             report.tagged.extend(reply[0])
         if replies[0][3] is not None:
             report.halo = replies[0][3]
+        self.supervisor.maybe_checkpoint()
         return report
 
     # -- scalar object ops ----------------------------------------------
@@ -372,6 +473,7 @@ class ProcessExecutor:
         tagged: list[TaggedEvent] = []
         for reply in replies:
             tagged.extend(reply[1])
+        self.supervisor.maybe_checkpoint()
         return applied.pop(), tagged
 
     # -- query ops (owner-side) ------------------------------------------
@@ -379,19 +481,25 @@ class ProcessExecutor:
         self, shard: int, qid: int, pos: Point, exclude: frozenset[int], seq: int = 0
     ) -> tuple[frozenset[int], list[TaggedEvent]]:
         """Owner-side RPC of :meth:`SerialExecutor.add_query`."""
-        return self._call(shard, "add_query", qid, pos, exclude, seq)
+        reply = self._call(shard, "add_query", qid, pos, exclude, seq)
+        self.supervisor.maybe_checkpoint()
+        return reply
 
     def remove_query(
         self, shard: int, qid: int, seq: int = 0
     ) -> tuple[bool, list[TaggedEvent]]:
         """Owner-side RPC of :meth:`SerialExecutor.remove_query`."""
-        return self._call(shard, "remove_query", qid, seq)
+        reply = self._call(shard, "remove_query", qid, seq)
+        self.supervisor.maybe_checkpoint()
+        return reply
 
     def update_query(
         self, shard: int, qid: int, pos: Point, seq: int = 0
     ) -> list[TaggedEvent]:
         """Owner-side RPC of :meth:`SerialExecutor.update_query`."""
-        return self._call(shard, "update_query", qid, pos, seq)
+        reply = self._call(shard, "update_query", qid, pos, seq)
+        self.supervisor.maybe_checkpoint()
+        return reply
 
     def remove_query_silent(self, shard: int, qid: int) -> None:
         """Owner-side RPC of the silent-remove migration helper."""
@@ -416,6 +524,14 @@ class ProcessExecutor:
         """Every worker's counter snapshot, in shard order."""
         return self._broadcast("stats")
 
+    def shard_queries(self, shard: int) -> list[tuple[int, Point, frozenset[int]]]:
+        """``(qid, pos, exclude)`` of every query on shard ``shard``."""
+        return self._call(shard, "queries")
+
+    def object_positions(self) -> dict[int, Point]:
+        """Ground-truth object positions from worker 0's replica."""
+        return self._call(0, "positions")
+
     def validate(self, foreign_qid_ok: Callable[[int], bool]) -> None:
         # Private replicas carry no foreign registrations; the predicate
         # is a shared-grid concern and is intentionally unused here.
@@ -426,26 +542,20 @@ class ProcessExecutor:
         """Objects in worker 0's grid replica."""
         return self._call(0, "object_count")
 
+    def supervision_report(self) -> dict:
+        """The supervisor's operational snapshot (restarts, degradation)."""
+        return self.supervisor.report()
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if getattr(self, "_closed", False):
-            return
-        self._closed = True
-        for conn in getattr(self, "_conns", []):
-            try:
-                conn.send(("close",))
-            except (BrokenPipeError, OSError):
-                pass
-        for conn in getattr(self, "_conns", []):
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover - teardown robustness
-                pass
-        for proc in getattr(self, "_procs", []):
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - teardown robustness
-                proc.terminate()
-                proc.join(timeout=5.0)
+        """Shut down the worker pool (idempotent).
+
+        Runs through the ``weakref.finalize`` guard registered at
+        construction, so explicit close, garbage collection, and
+        interpreter exit all converge on the same single teardown.
+        """
+        finalizer = getattr(self, "_finalizer", None)
+        if finalizer is not None:
+            finalizer()
 
     def __del__(self):  # pragma: no cover - GC-time best effort
         try:

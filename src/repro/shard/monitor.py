@@ -45,6 +45,7 @@ from repro.robustness.guard import IngestionGuard
 from repro.shard.engine import TaggedEvent
 from repro.shard.executor import ProcessExecutor, SerialExecutor
 from repro.shard.plan import StripePlan
+from repro.shard.supervisor import SupervisionConfig, SupervisorHooks
 
 __all__ = ["ShardedCRNNMonitor"]
 
@@ -68,6 +69,14 @@ class ShardedCRNNMonitor:
     mp_context:
         Multiprocessing start method for the process executor
         (``"fork"`` where available, else ``"spawn"``).
+    supervision:
+        Optional :class:`~repro.shard.supervisor.SupervisionConfig`
+        (process executor only): op deadlines, bounded respawn with
+        bit-identical crash recovery, and the ``on_shard_failure``
+        degradation policy (DESIGN §10).
+    chaos:
+        Optional :class:`~repro.shard.chaos.ChaosSpec` injecting seeded
+        worker faults (process executor only; testing).
 
     Examples
     --------
@@ -84,12 +93,19 @@ class ShardedCRNNMonitor:
         shards: int = 2,
         executor: str = "serial",
         mp_context: str = "fork",
+        supervision: Optional[SupervisionConfig] = None,
+        chaos=None,
     ):
         self.config = config if config is not None else MonitorConfig()
         if not self.config.uses_fur_store:
             raise ValueError(
                 "sharding requires a FUR-store variant ('lu-only' or 'lu+pi'); "
                 f"got {self.config.variant!r}"
+            )
+        if executor != "process" and (supervision is not None or chaos is not None):
+            raise ValueError(
+                "supervision/chaos apply to the process executor only "
+                "(the serial executor has no workers to supervise)"
             )
         #: Coordinator-side counters: guard violations, and in serial
         #: mode every search/grid counter of the shared grid.  Summed
@@ -109,6 +125,8 @@ class ShardedCRNNMonitor:
             self.executor = ProcessExecutor(
                 self.config, self.plan, self.stats,
                 tracer=self.obs.tracer, mp_context=mp_context,
+                supervision=supervision, chaos=chaos,
+                hooks=self._make_supervisor_hooks(),
             )
         else:
             raise ValueError(f"unknown executor {executor!r}")
@@ -139,6 +157,42 @@ class ShardedCRNNMonitor:
     # ------------------------------------------------------------------
     # Observability wiring
     # ------------------------------------------------------------------
+    def _make_supervisor_hooks(self) -> Optional[SupervisorHooks]:
+        """Bind supervision transitions to ``repro.obs`` metrics.
+
+        Registers ``crnn_shard_restarts_total`` (counter by shard),
+        ``crnn_shard_degraded`` (gauge by shard, pre-seeded to 0 so the
+        healthy state is visible on ``/metrics``), and the
+        ``crnn_shard_recovery_seconds`` histogram.  Returns ``None``
+        when observability is disabled — the supervisor still tracks
+        plain counters for :meth:`supervision_report`.
+        """
+        if not self.obs.enabled:
+            return None
+        registry = self.obs.registry
+        restarts = registry.counter(
+            "crnn_shard_restarts_total", "worker respawns by shard", ("shard",)
+        )
+        degraded = registry.gauge(
+            "crnn_shard_degraded",
+            "1 when the stripe runs degraded in-process", ("shard",),
+        )
+        recovery = registry.histogram(
+            "crnn_shard_recovery_seconds",
+            "crash-detection-to-recovered latency",
+        )
+        for shard in range(self.plan.shards):
+            degraded.labels(str(shard)).set(0.0)
+
+        def on_restart(shard: int, seconds: float) -> None:
+            restarts.labels(str(shard)).inc()
+            recovery.observe(seconds)
+
+        def on_degrade(shard: int) -> None:
+            degraded.labels(str(shard)).set(1.0)
+
+        return SupervisorHooks(on_restart=on_restart, on_degrade=on_degrade)
+
     def _init_metrics(self) -> None:
         registry = self.obs.registry
         if not self.obs.enabled:
@@ -426,6 +480,9 @@ class ShardedCRNNMonitor:
             "results": float(sum(len(r) for r in self._results.values())),
             "shards": float(self.plan.shards),
         }
+        report = self.supervision_report()
+        out["shard_restarts"] = float(report["restarts_total"])
+        out["shards_degraded"] = float(len(report["degraded_shards"]))
         out.update(
             (name, float(value))
             for name, value in self.guard.violation_counts().items()
@@ -435,6 +492,90 @@ class ShardedCRNNMonitor:
     def shard_of(self, qid: int) -> int:
         """The shard currently owning query ``qid``."""
         return self._owner[qid]
+
+    def supervision_report(self) -> dict:
+        """Restart/degradation snapshot of the supervision layer.
+
+        Serial deployments (no workers) report a disabled layer with
+        zero restarts, so callers need not branch on the executor.
+        """
+        if hasattr(self.executor, "supervision_report"):
+            return self.executor.supervision_report()
+        return {
+            "enabled": False,
+            "restarts_total": 0,
+            "restarts_by_shard": {},
+            "degraded_shards": set(),
+            "incarnations": [0] * self.plan.shards,
+            "journal_depths": [0] * self.plan.shards,
+            "recovery_seconds": [],
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serialize the deployment's ground truth to a checkpoint dict.
+
+        Same :data:`~repro.robustness.checkpoint.FORMAT` as the single
+        monitor's checkpoint — positions, query registrations, current
+        results, aggregated counters — so a snapshot taken under one
+        shard count (or one executor) restores under any other, or even
+        into a plain :class:`~repro.core.monitor.CRNNMonitor`.
+        """
+        from repro.robustness.checkpoint import build_snapshot_dict
+
+        queries = []
+        for shard in range(self.plan.shards):
+            queries.extend(self.executor.shard_queries(shard))
+        snap = build_snapshot_dict(
+            self.config,
+            self.executor.object_positions(),
+            queries,
+            self.results(),
+            self.aggregated_stats().snapshot(),
+        )
+        self.stats.checkpoints_saved += 1
+        return snap
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        snap: dict,
+        shards: int = 2,
+        executor: str = "serial",
+        verify: bool = True,
+        **kwargs,
+    ) -> "ShardedCRNNMonitor":
+        """Rebuild a sharded deployment from a checkpoint dict.
+
+        The shard count and executor are free parameters — a snapshot
+        saved under K=2 restores under K=8, or under the process pool —
+        because the checkpoint records ground truth, not stripe layout.
+        Objects and queries replay through the normal registration path;
+        with ``verify`` the recomputed results must match the recorded
+        ones and cross-shard ``validate()`` must pass.  Counters restart
+        from the rebuild (per-shard counter state is a supervisor
+        concern; see :mod:`repro.shard.journal` for the exact-recovery
+        path), so continuation parity is checked on counter *deltas*.
+        """
+        from repro.robustness.checkpoint import (
+            parse_config,
+            replay_into,
+            verify_restore,
+        )
+
+        config = parse_config(snap)
+        monitor = cls(config, shards=shards, executor=executor, **kwargs)
+        try:
+            replay_into(monitor, snap)
+            if verify:
+                verify_restore(monitor, snap)
+        except BaseException:
+            monitor.close()
+            raise
+        monitor.stats.checkpoints_restored += 1
+        return monitor
 
     def validate(self) -> None:
         """Cross-shard consistency checks; raises ``AssertionError``.
