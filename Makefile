@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check smoke obs-smoke chaos-smoke chaos-heavy bench bench-recovery bench-check bench-paper docs docs-lint experiments experiments-quick examples clean
+.PHONY: install test check smoke obs-smoke chaos-smoke chaos-heavy serve-smoke serve-soak bench bench-recovery bench-serve bench-check bench-paper docs docs-lint experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -48,6 +48,20 @@ bench:
 # BENCH_pr6.json. Acceptance: <= 5% update-phase overhead.
 bench-recovery:
 	PYTHONPATH=src $(PYTHON) -m repro.shard.bench --pr6 --out BENCH_pr6.json
+
+# Serving-layer smoke over a real TCP loopback: wire parity (serial +
+# sharded), shedding policies, drain shutdown -> verified checkpoint.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.serve.smoke --quick
+
+# The 30-second seeded serving soak (excluded from tier-1 by marker).
+serve-soak:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_serve_load.py -m soak
+
+# Wire-overhead suite: in-process vs TCP at n=10k; regenerates
+# BENCH_pr7.json. Acceptance: <= 15% overhead over direct process().
+bench-serve:
+	PYTHONPATH=src $(PYTHON) -m repro.serve.bench --pr7 --out BENCH_pr7.json
 
 # Regression gate against the checked-in BENCH_pr2.json (what CI runs).
 bench-check:

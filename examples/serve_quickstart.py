@@ -1,0 +1,61 @@
+"""Serving quickstart: the same monitor, now behind a TCP socket.
+
+Starts an in-process :class:`~repro.serve.server.ServerThread`, then
+talks to it like any remote client would: enqueue location updates as
+batch frames, drive ticks explicitly, subscribe to a query's result
+deltas, and read back stats — all over the length-prefixed JSON wire
+protocol (see ``repro.serve.protocol``).
+
+Run:  python examples/serve_quickstart.py
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ServerThread
+
+
+def main() -> None:
+    # A server fronting a fresh monitor; port 0 picks a free port.
+    # ``overload="reject"`` turns a full ingestion queue into typed
+    # errors instead of TCP backpressure (the default is "block").
+    config = ServeConfig(overload="reject", max_pending=10_000)
+    with ServerThread(config) as (host, port):
+        with ServeClient(host, port) as client:
+            print(f"connected to {host}:{port} "
+                  f"(backend={client.hello.backend}, policy={client.hello.policy})")
+
+            # Three taxis and a dispatcher query, same as quickstart.py
+            # — but each call is a frame on the wire, applied when the
+            # server runs the next tick.
+            client.add_object(1, 2_000.0, 2_000.0)
+            client.add_object(2, 2_600.0, 2_100.0)
+            client.add_object(3, 8_000.0, 8_000.0)
+            client.add_query(100, 2_300.0, 2_050.0)
+            client.subscribe(100)
+
+            ack = client.tick()
+            print(f"tick {ack.tick}: {ack.applied} updates applied, "
+                  f"{ack.events} result deltas")
+            print(f"RNNs over the wire: {sorted(client.results(100))}")
+
+            # Taxi 3 drives over and parks next to taxi 1
+            # (``add_object`` on a live id is a move).
+            client.add_object(3, 2_050.0, 2_000.0)
+            client.tick()
+            print(f"after taxi 3 arrives:  {sorted(client.results(100))}")
+
+            # The subscription delivered each tick's deltas as they
+            # happened — (qid, oid, gained) triples.
+            client.drain_socket()
+            for batch in client.take_events():
+                changes = ", ".join(
+                    f"{'+' if gained else '-'}{oid}" for _, oid, gained in batch.changes
+                )
+                print(f"  tick {batch.tick} deltas: {changes}")
+
+            stats = client.stats()
+            print(f"server processed {int(stats.serve['crnn_serve_updates_total'])} "
+                  f"updates across {int(stats.serve['crnn_serve_ticks_total'])} ticks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,265 @@
+"""Wire-path overhead bench (``BENCH_pr7.json``) and shared workloads.
+
+Two exports:
+
+* :func:`serve_stream` — the deterministic mixed update stream (moves,
+  deletes, re-inserts, query churn) the parity suite, the smoke, and
+  this bench all replay, so every layer exercises the same shapes;
+* :func:`run_wire_overhead` — the ``--pr7`` suite: the same seeded
+  n=10k workload is driven once through direct in-process
+  ``monitor.process()`` calls and once through a real TCP
+  :class:`~repro.serve.server.CRNNServer` (batch frames + explicit
+  ticks), interleaved best-of-``repeats`` arms.  The acceptance target
+  is a wire-path overhead of **≤ 15 %** over in-process; the logical
+  counters of both arms must match exactly (else the bench measured two
+  different computations and aborts).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.serve.bench --pr7 --out BENCH_pr7.json
+    PYTHONPATH=src python -m repro.serve.bench --pr7 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Optional
+
+from repro.core.config import MonitorConfig
+from repro.core.events import ObjectUpdate, QueryUpdate
+from repro.core.monitor import CRNNMonitor
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.perf import HAVE_NUMPY
+from repro.perf.bench import host_fingerprint, logical_subset
+
+__all__ = ["serve_stream", "run_wire_overhead", "main", "OVERHEAD_TARGET"]
+
+#: ISSUE 7 acceptance: wire-path overhead over in-process at n=10k.
+OVERHEAD_TARGET = 0.15
+
+#: Query ids live in their own range so streams read unambiguously.
+QUERY_BASE = 1_000_000
+
+#: Data space of the default :func:`serve_stream` (dense interactions).
+STREAM_BOUNDS = Rect(0.0, 0.0, 1_000.0, 1_000.0)
+
+
+def serve_stream(
+    seed: int = 7,
+    n: int = 250,
+    queries: int = 12,
+    ticks: int = 200,
+    moves_per_tick: int = 25,
+    bounds: Rect = STREAM_BOUNDS,
+) -> tuple[list, list[list]]:
+    """A deterministic mixed update stream for the wire-parity suites.
+
+    Returns ``(initial_batch, tick_batches)``.  The initial batch
+    inserts ``n`` objects and registers ``queries`` query points; each
+    of the ``ticks`` subsequent batches is mostly short random-walk
+    moves, with a sprinkling of object deletes, re-inserts of fresh
+    ids, and query moves — every update kind the wire protocol carries,
+    in one stream.  All ids referenced are alive at reference time, so
+    the stream is valid under the ``strict`` ingestion guard.
+    """
+    rng = random.Random(seed)
+
+    def rand_point() -> Point:
+        return Point(
+            rng.uniform(bounds.xmin, bounds.xmax), rng.uniform(bounds.ymin, bounds.ymax)
+        )
+
+    pos: dict[int, Point] = {}
+    initial: list = []
+    for oid in range(n):
+        p = rand_point()
+        pos[oid] = p
+        initial.append(ObjectUpdate(oid, p))
+    qpos: dict[int, Point] = {}
+    for q in range(queries):
+        qid = QUERY_BASE + q
+        p = rand_point()
+        qpos[qid] = p
+        initial.append(QueryUpdate(qid, p))
+    next_oid = n
+
+    span = min(bounds.xmax - bounds.xmin, bounds.ymax - bounds.ymin)
+    step = span * 0.02
+
+    tick_batches: list[list] = []
+    for _ in range(ticks):
+        batch: list = []
+        for _ in range(moves_per_tick):
+            roll = rng.random()
+            if roll < 0.02 and len(pos) > 10:
+                # Delete a live object.
+                oid = rng.choice(sorted(pos))
+                del pos[oid]
+                batch.append(ObjectUpdate(oid, None))
+            elif roll < 0.04:
+                # Insert a brand-new object id.
+                p = rand_point()
+                pos[next_oid] = p
+                batch.append(ObjectUpdate(next_oid, p))
+                next_oid += 1
+            elif roll < 0.07 and qpos:
+                # Move a query (forces a recomputation).
+                qid = rng.choice(sorted(qpos))
+                p = rand_point()
+                qpos[qid] = p
+                batch.append(QueryUpdate(qid, p))
+            else:
+                oid = rng.choice(sorted(pos))
+                old = pos[oid]
+                p = Point(
+                    min(max(old.x + rng.uniform(-step, step), bounds.xmin), bounds.xmax),
+                    min(max(old.y + rng.uniform(-step, step), bounds.ymin), bounds.ymax),
+                )
+                pos[oid] = p
+                batch.append(ObjectUpdate(oid, p))
+        tick_batches.append(batch)
+    return initial, tick_batches
+
+
+def _run_direct(config: MonitorConfig, initial: list, tick_batches: list[list]) -> dict:
+    """The in-process arm: raw ``process()`` calls, no wire."""
+    monitor = CRNNMonitor(config)
+    monitor.process(initial)
+    monitor.drain_events()
+    events = 0
+    t0 = time.perf_counter()
+    for batch in tick_batches:
+        monitor.process(batch)
+        events += len(monitor.drain_events())
+    wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": wall,
+        "events": events,
+        "counters": monitor.stats.snapshot(),
+    }
+
+
+def _run_wire(config: MonitorConfig, initial: list, tick_batches: list[list]) -> dict:
+    """The TCP arm: batch frames + explicit ticks against a live server."""
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+
+    serve_config = ServeConfig(
+        monitor=config,
+        max_pending=max(len(initial), 1) + sum(len(b) for b in tick_batches),
+        max_frame=8 << 20,
+    )
+    with ServerThread(serve_config) as (host, port):
+        with ServeClient(host, port, max_frame=8 << 20) as client:
+            client.send_updates(initial)
+            client.tick()
+            events = 0
+            t0 = time.perf_counter()
+            for batch in tick_batches:
+                client.send_updates(batch)
+                ack = client.tick()
+                events += ack.events
+            wall = time.perf_counter() - t0
+            counters = client.stats().counters
+    return {"wall_seconds": wall, "events": events, "counters": counters}
+
+
+def run_wire_overhead(quick: bool = False, repeats: int = 3) -> dict:
+    """The ``--pr7`` suite: wire-path overhead over in-process.
+
+    Arms alternate (direct, wire, direct, wire, ...) so machine noise
+    lands on both evenly; the kept number per arm is the best run.
+    Counter parity between the arms is asserted, not just recorded.
+    """
+    if quick:
+        n, queries, ticks, moves = 2_000, 20, 10, 400
+    else:
+        n, queries, ticks, moves = 10_000, 50, 20, 2_000
+    config = MonitorConfig.lu_pi(vectorized=HAVE_NUMPY)
+    initial, tick_batches = serve_stream(
+        seed=707, n=n, queries=queries, ticks=ticks, moves_per_tick=moves,
+        bounds=config.bounds,
+    )
+    best: dict[str, Optional[dict]] = {"direct": None, "wire": None}
+    for _ in range(repeats):
+        for arm, runner in (("direct", _run_direct), ("wire", _run_wire)):
+            row = runner(config, initial, tick_batches)
+            if best[arm] is None or row["wall_seconds"] < best[arm]["wall_seconds"]:
+                best[arm] = row
+    direct, wire = best["direct"], best["wire"]
+    assert direct is not None and wire is not None
+    want = logical_subset(direct["counters"])
+    got = logical_subset({k: int(v) for k, v in wire["counters"].items()})
+    if want != got:
+        raise AssertionError(
+            f"wire arm computed something different: direct={want} wire={got}"
+        )
+    if direct["events"] != wire["events"]:
+        raise AssertionError(
+            f"event volume diverged: direct={direct['events']} wire={wire['events']}"
+        )
+    overhead = wire["wall_seconds"] / direct["wall_seconds"] - 1.0
+    total_updates = sum(len(b) for b in tick_batches)
+    return {
+        "schema": "repro-serve-bench",
+        "version": 1,
+        "host": host_fingerprint(),
+        "workload": {
+            "name": "serve-wire-overhead" + ("-quick" if quick else ""),
+            "n": n,
+            "queries": queries,
+            "ticks": ticks,
+            "moves_per_tick": moves,
+            "seed": 707,
+            "total_updates": total_updates,
+        },
+        "direct": {
+            "wall_seconds": round(direct["wall_seconds"], 4),
+            "updates_per_sec": round(total_updates / direct["wall_seconds"], 1),
+            "events": direct["events"],
+        },
+        "wire": {
+            "wall_seconds": round(wire["wall_seconds"], 4),
+            "updates_per_sec": round(total_updates / wire["wall_seconds"], 1),
+            "events": wire["events"],
+        },
+        "overhead": round(overhead, 4),
+        "target": OVERHEAD_TARGET,
+        "target_met": overhead <= OVERHEAD_TARGET,
+        "logical_counters": want,
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point (``python -m repro.serve.bench``)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pr7", action="store_true",
+                        help="run the wire-overhead suite (the only suite; implied)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload (n=2k) for CI smokes")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved repeats per arm (best kept)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON here (default BENCH_pr7.json)")
+    args = parser.parse_args(argv)
+    result = run_wire_overhead(quick=args.quick, repeats=args.repeats)
+    out = args.out or "BENCH_pr7.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"[serve-bench] direct {result['direct']['wall_seconds']}s, "
+        f"wire {result['wire']['wall_seconds']}s, "
+        f"overhead {result['overhead']:+.1%} (target <= {OVERHEAD_TARGET:.0%}) "
+        f"-> {out}"
+    )
+    return 0 if result["target_met"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

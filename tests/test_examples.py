@@ -26,6 +26,7 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
         ("battlefield.py", (), "speedup"),
         ("compare_variants.py", ("400", "40"), "LU+PI"),
         ("delivery_dispatch.py", (), "event volumes"),
+        ("serve_quickstart.py", (), "RNNs over the wire"),
     ],
 )
 def test_example_runs(script, args, expect):
@@ -52,5 +53,6 @@ def test_examples_directory_is_covered():
         "compare_variants.py",
         "delivery_dispatch.py",
         "predictive_planning.py",
+        "serve_quickstart.py",
     }
     assert scripts == covered, f"untested examples: {scripts - covered}"

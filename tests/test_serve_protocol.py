@@ -1,0 +1,410 @@
+"""Protocol fuzz/robustness: round-trips and malformed-frame handling.
+
+Two layers:
+
+* **Sans-io** — hypothesis round-trips every message type through
+  ``to_wire -> json -> parse_message`` and the frame codec through
+  arbitrary chunkings; decoder resync after bad frames is unit-tested.
+* **Live server** — malformed frames (truncated length prefix,
+  oversized frame, bad JSON, unknown version/type, missing fields) must
+  produce *typed error replies* on a surviving connection — never a
+  server crash; a fresh valid request afterwards must still be served.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import protocol as proto
+from repro.serve.client import ServeClient, ServerError
+from repro.serve.protocol import (
+    Ack,
+    Batch,
+    Checkpoint,
+    CheckpointAck,
+    ErrorReply,
+    EventBatch,
+    FrameDecoder,
+    GetResults,
+    GetStats,
+    Hello,
+    HelloAck,
+    ProtocolError,
+    ResultsReply,
+    Shutdown,
+    ShutdownAck,
+    StatsReply,
+    Subscribe,
+    Tick,
+    TickAck,
+    Unsubscribe,
+    WireUpdate,
+    encode_frame,
+    parse_message,
+    to_wire,
+)
+from repro.serve.server import ServeConfig, ServerThread
+from repro.core.events import ObjectUpdate, QueryUpdate
+from repro.geometry.point import Point
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+ids = st.integers(min_value=-(2**31), max_value=2**31)
+seqs = st.one_of(st.none(), st.integers(min_value=0, max_value=2**31))
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+texts = st.text(max_size=40)
+
+points = st.builds(Point, finite, finite)
+core_updates = st.one_of(
+    st.builds(ObjectUpdate, ids, st.one_of(st.none(), points)),
+    st.builds(QueryUpdate, ids, st.one_of(st.none(), points)),
+)
+
+changes = st.lists(
+    st.tuples(ids, ids, st.booleans()), max_size=20
+).map(tuple)
+
+int_tuples = st.lists(ids, max_size=20).map(tuple)
+
+json_scalars = st.one_of(st.integers(min_value=-(2**31), max_value=2**31), finite, texts)
+flat_dicts = st.dictionaries(texts, json_scalars, max_size=6)
+
+MESSAGES = st.one_of(
+    st.builds(Hello, client=texts, seq=seqs),
+    st.builds(Batch, updates=st.lists(core_updates, max_size=20).map(tuple), seq=seqs),
+    st.builds(Subscribe, qid=st.one_of(st.none(), ids), seq=seqs),
+    st.builds(Unsubscribe, qid=st.one_of(st.none(), ids), seq=seqs),
+    st.builds(Tick, seq=seqs),
+    st.builds(GetResults, qid=ids, seq=seqs),
+    st.builds(GetStats, seq=seqs),
+    st.builds(Checkpoint, seq=seqs),
+    st.builds(Shutdown, drain=st.booleans(), seq=seqs),
+    st.builds(HelloAck, server=texts, backend=texts, policy=texts, seq=seqs),
+    st.builds(Ack, seq=seqs),
+    st.builds(
+        ErrorReply,
+        code=st.sampled_from(proto.ERROR_CODES),
+        detail=texts,
+        count=st.integers(min_value=0, max_value=10**6),
+        seq=seqs,
+    ),
+    st.builds(
+        TickAck,
+        tick=st.integers(min_value=0, max_value=2**31),
+        applied=st.integers(min_value=0, max_value=2**31),
+        shed=st.integers(min_value=0, max_value=2**31),
+        events=st.integers(min_value=0, max_value=2**31),
+        seq=seqs,
+    ),
+    st.builds(
+        EventBatch,
+        tick=st.integers(min_value=0, max_value=2**31),
+        changes=changes,
+        gap=st.booleans(),
+        seq=seqs,
+    ),
+    st.builds(ResultsReply, qid=ids, rnn=int_tuples, seq=seqs),
+    st.builds(StatsReply, counters=flat_dicts, serve=flat_dicts, seq=seqs),
+    st.builds(
+        CheckpointAck,
+        path=texts,
+        bytes=st.integers(min_value=0, max_value=2**31),
+        seq=seqs,
+    ),
+    st.builds(ShutdownAck, drained=st.booleans(), seq=seqs),
+)
+
+
+# ----------------------------------------------------------------------
+# Sans-io round trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @given(MESSAGES)
+    @settings(max_examples=300, deadline=None)
+    def test_every_message_type_round_trips(self, msg):
+        payload = json.loads(json.dumps(to_wire(msg)))
+        assert parse_message(payload) == msg
+
+    @given(st.lists(MESSAGES, min_size=1, max_size=10), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_frame_codec_survives_arbitrary_chunking(self, msgs, data):
+        blob = b"".join(encode_frame(to_wire(m)) for m in msgs)
+        decoder = FrameDecoder()
+        decoded = []
+        i = 0
+        while i < len(blob):
+            step = data.draw(st.integers(min_value=1, max_value=max(1, len(blob) - i)))
+            decoder.feed(blob[i : i + step])
+            for frame in decoder.frames():
+                assert not isinstance(frame, ProtocolError)
+                decoded.append(parse_message(frame))
+            i += step
+        decoder.check_eof()
+        assert decoded == msgs
+
+    def test_update_conversion_round_trips(self):
+        for update in (
+            ObjectUpdate(3, Point(1.5, -2.25)),
+            ObjectUpdate(9, None),
+            QueryUpdate(100, Point(0.1, 0.2)),
+            QueryUpdate(100, None),
+        ):
+            assert WireUpdate.from_update(update).to_update() == update
+
+    def test_batch_accepts_wire_updates_and_encodes_columnar(self):
+        core = (ObjectUpdate(3, Point(1.5, -2.25)), QueryUpdate(7, None))
+        via_wire = Batch(updates=tuple(WireUpdate.from_update(u) for u in core), seq=5)
+        payload = to_wire(via_wire)
+        assert payload == to_wire(Batch(updates=core, seq=5))
+        assert payload["kinds"] == "oq"
+        assert payload["ids"] == [3, 7]
+        assert payload["xs"] == [1.5, None] and payload["ys"] == [-2.25, None]
+        assert parse_message(json.loads(json.dumps(payload))).updates == core
+
+
+# ----------------------------------------------------------------------
+# Decoder resync (sans-io)
+# ----------------------------------------------------------------------
+class TestDecoderResync:
+    def test_bad_json_is_recoverable(self):
+        decoder = FrameDecoder()
+        good = encode_frame(to_wire(Tick(seq=1)))
+        bad = struct.pack(">I", 5) + b"{oops"
+        decoder.feed(bad + good)
+        frames = list(decoder.frames())
+        assert isinstance(frames[0], ProtocolError)
+        assert frames[0].code == proto.E_BAD_JSON
+        assert parse_message(frames[1]) == Tick(seq=1)
+
+    def test_oversized_frame_is_skipped_and_counted(self):
+        decoder = FrameDecoder(max_frame=64)
+        oversized = struct.pack(">I", 1000) + b"x" * 1000
+        good = encode_frame(to_wire(Tick(seq=2)))
+        # Feed the oversized frame in dribs to exercise the skip state.
+        decoder.feed(oversized[:300])
+        frames = list(decoder.frames())
+        assert len(frames) == 1 and frames[0].code == proto.E_FRAME_TOO_LARGE
+        decoder.feed(oversized[300:])
+        assert list(decoder.frames()) == []
+        decoder.feed(good)
+        frames = list(decoder.frames())
+        assert parse_message(frames[0]) == Tick(seq=2)
+        decoder.check_eof()
+
+    def test_truncated_stream_raises_at_eof(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"\x00\x00")
+        assert list(decoder.frames()) == []
+        with pytest.raises(ProtocolError) as excinfo:
+            decoder.check_eof()
+        assert excinfo.value.code == proto.E_TRUNCATED
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            encode_frame({"blob": "x" * 100}, max_frame=16)
+        assert excinfo.value.code == proto.E_FRAME_TOO_LARGE
+
+
+# ----------------------------------------------------------------------
+# parse_message validation (sans-io)
+# ----------------------------------------------------------------------
+class TestParseValidation:
+    def test_unknown_version(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_message({"v": 99, "type": "hello"})
+        assert excinfo.value.code == proto.E_UNKNOWN_VERSION
+
+    def test_unknown_type(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_message({"v": 1, "type": "frobnicate"})
+        assert excinfo.value.code == proto.E_UNKNOWN_TYPE
+
+    def test_non_object_payload(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_message([1, 2, 3])
+        assert excinfo.value.code == proto.E_BAD_FIELD
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"v": 1, "type": "results"},  # missing qid
+            {"v": 1, "type": "results", "qid": "seven"},
+            {"v": 1, "type": "batch", "kinds": 5},
+            {"v": 1, "type": "batch", "kinds": "o", "ids": "nope", "xs": [None], "ys": [None]},
+            {"v": 1, "type": "batch", "kinds": "o", "ids": [1], "xs": [1.0], "ys": [1.0, 2.0]},
+            {"v": 1, "type": "batch", "kinds": "z", "ids": [1], "xs": [None], "ys": [None]},
+            {"v": 1, "type": "batch", "kinds": "o", "ids": [True], "xs": [None], "ys": [None]},
+            {"v": 1, "type": "batch", "kinds": "o", "ids": [1], "xs": ["a"], "ys": [1.0]},
+            {"v": 1, "type": "batch", "kinds": "o", "ids": [1], "xs": [True], "ys": [1.0]},
+            {"v": 1, "type": "batch", "kinds": "o", "ids": [1], "xs": [None], "ys": [2.0]},
+            {"v": 1, "type": "tick", "seq": "first"},
+            {"v": 1, "type": "shutdown", "drain": 1},
+            {"v": 1, "type": "subscribe", "qid": 1.5},
+        ],
+    )
+    def test_bad_fields(self, payload):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_message(payload)
+        assert excinfo.value.code == proto.E_BAD_FIELD
+
+    def test_error_carries_seq_when_extractable(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_message({"v": 1, "type": "results", "seq": 41})
+        assert excinfo.value.seq == 41
+
+    def test_hypothesis_junk_never_escapes_typed_errors(self):
+        @given(
+            st.recursive(
+                json_scalars | st.none() | st.booleans(),
+                lambda inner: st.one_of(
+                    st.lists(inner, max_size=4),
+                    st.dictionaries(texts, inner, max_size=4),
+                ),
+                max_leaves=12,
+            )
+        )
+        @settings(max_examples=300, deadline=None)
+        def check(junk):
+            try:
+                parse_message(junk)
+            except ProtocolError:
+                pass  # the only acceptable failure mode
+
+        check()
+
+
+# ----------------------------------------------------------------------
+# Live server: malformed frames must never crash it
+# ----------------------------------------------------------------------
+class RawConn:
+    """A raw socket speaking frames by hand (for sending garbage)."""
+
+    def __init__(self, host: str, port: int):
+        self.sock = socket.create_connection((host, port), timeout=10.0)
+        self.decoder = FrameDecoder()
+
+    def send(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def send_json(self, payload: dict) -> None:
+        self.send(encode_frame(payload))
+
+    def recv_msg(self):
+        while True:
+            for frame in self.decoder.frames():
+                assert not isinstance(frame, ProtocolError)
+                return parse_message(frame)
+            data = self.sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self.decoder.feed(data)
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+@pytest.fixture(scope="module")
+def live():
+    thread = ServerThread(ServeConfig(max_frame=4096))
+    host, port = thread.start()
+    yield thread, host, port
+    thread.stop()
+
+
+def assert_still_serving(host: int, port: int) -> None:
+    with ServeClient(host, port) as probe:
+        assert probe.stats().counters["nn_searches"] >= 0
+
+
+class TestLiveMalformed:
+    def test_bad_json_gets_typed_error_and_connection_survives(self, live):
+        _thread, host, port = live
+        conn = RawConn(host, port)
+        conn.send(struct.pack(">I", 7) + b"not json")
+        # (7-byte prefix, 8 bytes sent: the trailing byte starts the
+        # next header; finish with a valid frame to realign.)
+        reply = conn.recv_msg()
+        assert isinstance(reply, ErrorReply) and reply.code == proto.E_BAD_JSON
+        conn.close()
+        assert_still_serving(host, port)
+
+    def test_oversized_frame_gets_typed_error_same_connection_usable(self, live):
+        _thread, host, port = live
+        conn = RawConn(host, port)
+        conn.send(struct.pack(">I", 100_000) + b"x" * 100_000)
+        reply = conn.recv_msg()
+        assert isinstance(reply, ErrorReply)
+        assert reply.code == proto.E_FRAME_TOO_LARGE
+        conn.send_json({"v": 1, "type": "stats", "seq": 9})
+        reply = conn.recv_msg()
+        assert isinstance(reply, StatsReply) and reply.seq == 9
+        conn.close()
+
+    def test_truncated_length_prefix_then_close_never_crashes(self, live):
+        thread, host, port = live
+        errors_before = thread.server._m_proto_errors.value
+        conn = RawConn(host, port)
+        conn.send(b"\x00\x01")
+        conn.close()
+        # The server counts the mid-frame close and keeps serving.
+        deadline = __import__("time").monotonic() + 5.0
+        while (
+            thread.server._m_proto_errors.value <= errors_before
+            and __import__("time").monotonic() < deadline
+        ):
+            __import__("time").sleep(0.01)
+        assert thread.server._m_proto_errors.value > errors_before
+        assert_still_serving(host, port)
+
+    @pytest.mark.parametrize(
+        "payload, code",
+        [
+            ({"v": 2, "type": "hello", "seq": 1}, proto.E_UNKNOWN_VERSION),
+            ({"v": 1, "type": "warp", "seq": 2}, proto.E_UNKNOWN_TYPE),
+            ({"v": 1, "type": "results", "seq": 3}, proto.E_BAD_FIELD),
+            ({"v": 1, "type": "tick_ack", "seq": 4}, proto.E_UNSUPPORTED),
+            ({"type": "hello", "seq": 5}, proto.E_UNKNOWN_VERSION),
+        ],
+    )
+    def test_typed_error_replies(self, live, payload, code):
+        _thread, host, port = live
+        conn = RawConn(host, port)
+        conn.send_json(payload)
+        reply = conn.recv_msg()
+        assert isinstance(reply, ErrorReply), reply
+        assert reply.code == code
+        assert reply.seq == payload.get("seq")
+        conn.close()
+
+    def test_unknown_query_is_a_typed_error(self, live):
+        _thread, host, port = live
+        with ServeClient(host, port) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.results(424242)
+            assert excinfo.value.code == proto.E_UNKNOWN_QUERY
+
+    def test_fuzzed_frames_never_kill_the_listener(self, live):
+        _thread, host, port = live
+        import random
+
+        rng = random.Random(1234)
+        conn = RawConn(host, port)
+        for _ in range(50):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 40)))
+            # Length-prefix the junk so the stream stays frame-aligned;
+            # the payload itself is garbage.
+            conn.send(struct.pack(">I", len(blob)) + blob)
+        # Every junk frame must have produced exactly one typed error.
+        replies = [conn.recv_msg() for _ in range(50)]
+        assert all(isinstance(r, ErrorReply) for r in replies)
+        conn.send_json({"v": 1, "type": "stats", "seq": 77})
+        assert isinstance(conn.recv_msg(), StatsReply)
+        conn.close()
+        assert_still_serving(host, port)
