@@ -169,6 +169,7 @@ class ServeClient:
         so_rcvbuf: Optional[int] = None,
     ):
         self.session = ClientSession(max_frame)
+        self._timeout = timeout
         if so_rcvbuf is not None:
             # Kernel receive buffers only shrink when set *before*
             # connect(), so the small-buffer test knob cannot use
@@ -290,7 +291,7 @@ class ServeClient:
         except (TimeoutError, socket.timeout):
             pass
         finally:
-            self._sock.settimeout(30.0)
+            self._sock.settimeout(self._timeout)
 
     def close(self) -> None:
         """Close the connection."""

@@ -83,6 +83,7 @@ E_UNKNOWN_QUERY = "unknown_query"
 E_SLOW_CONSUMER = "slow_consumer"
 E_SHUTTING_DOWN = "shutting_down"
 E_UNSUPPORTED = "unsupported"
+E_TICK_FAILED = "tick_failed"
 
 #: Every error code a server may put into an ``error`` reply.
 ERROR_CODES = (
@@ -97,6 +98,7 @@ ERROR_CODES = (
     E_SLOW_CONSUMER,
     E_SHUTTING_DOWN,
     E_UNSUPPORTED,
+    E_TICK_FAILED,
 )
 
 

@@ -18,6 +18,10 @@ keeps the wire path *bit-identical* to the in-process path:
   ``tick_interval`` timer) moves the whole pending queue into one
   ``monitor.process()`` batch, exactly like a caller handing the same
   list to the library directly, then drains the monitor's result deltas.
+  Ticks are serialized by a lock, and a batch the monitor refuses (the
+  strict ingestion guard raising on a poison update) is dropped
+  atomically and answered with a typed ``tick_failed`` error — never a
+  dead tick loop.
 * **Fanout** — the drained deltas are filtered per subscriber and
   enqueued on per-connection outboxes; a slow consumer is handled by
   :data:`ServeConfig.fanout_policy` (``block`` exerts backpressure on
@@ -225,6 +229,7 @@ class CRNNServer:
         self._shed_ingest_window = 0  # sheds since the last tick (TickAck.shed)
         self._server: Optional[asyncio.base_events.Server] = None
         self._tick_task: Optional[asyncio.Task] = None
+        self._tick_lock = asyncio.Lock()
         self._draining = False
         self._stopped = asyncio.Event()
 
@@ -246,6 +251,10 @@ class CRNNServer:
             "crnn_serve_updates_total", "location updates admitted into the queue"
         )
         self._m_ticks = reg.counter("crnn_serve_ticks_total", "process() ticks run")
+        self._m_tick_errors = reg.counter(
+            "crnn_serve_tick_errors_total",
+            "ticks whose batch the monitor refused (batch dropped)",
+        )
         self._m_events = reg.counter(
             "crnn_serve_events_total", "result deltas drained from the monitor"
         )
@@ -428,13 +437,18 @@ class CRNNServer:
         flush would stall every other subscriber's tick); the transport
         finishes flushing and closes in the background.
         """
-        if conn.closed:
-            return
         conn.closed = True
-        self._conns.pop(conn.cid, None)
+        # Always release anyone parked on this connection's events, even
+        # when `closed` was already flagged: the tick loop may be inside
+        # a block-policy `conn.space.wait()` in _send_event_frame while
+        # the writer's error path marks the connection dead — skipping
+        # the set() would wedge every subscriber's fanout forever.
+        conn.space.set()
+        conn.wakeup.set()
+        if self._conns.pop(conn.cid, None) is None:
+            return  # another path already tore this connection down
         self._m_connections.dec()
-        if conn.writer_task is not None:
-            conn.wakeup.set()  # let the writer observe `closed` and exit
+        if conn.writer_task is not None and conn.writer_task is not asyncio.current_task():
             conn.writer_task.cancel()
             try:
                 await conn.writer_task
@@ -457,8 +471,13 @@ class CRNNServer:
         conn.outbox.append(encode_frame(to_wire(msg), self.config.max_frame))
         conn.wakeup.set()
 
-    async def _send_event_frame(self, conn: _Connection, msg: EventBatch) -> None:
-        """Enqueue an event frame under the fanout shedding policy."""
+    async def _send_event_frame(self, conn: _Connection, msg: EventBatch) -> bool:
+        """Enqueue an event frame under the fanout shedding policy.
+
+        Returns whether the frame actually entered the outbox — the
+        ``reject`` path disconnects the subscriber instead, and a
+        connection found dead here delivers nothing.
+        """
         policy = self.config.effective_fanout_policy
         if conn.event_frames >= self.config.subscriber_buffer:
             if policy == POLICY_BLOCK:
@@ -492,9 +511,9 @@ class CRNNServer:
                 except (ConnectionResetError, BrokenPipeError, OSError):
                     pass
                 await self._close_connection(conn, wait=False)
-                return
+                return False
         if conn.closed:
-            return
+            return False
         if conn.gap:
             msg = EventBatch(tick=msg.tick, changes=msg.changes, gap=True)
             conn.gap = False
@@ -503,6 +522,7 @@ class CRNNServer:
         )
         conn.event_frames += 1
         conn.wakeup.set()
+        return True
 
     def _shed_oldest_event(self, conn: _Connection) -> None:
         for i, item in enumerate(conn.outbox):
@@ -530,7 +550,10 @@ class CRNNServer:
                 conn.space.set()
                 await conn.writer.drain()
         except (ConnectionResetError, BrokenPipeError, OSError):
-            conn.closed = True
+            # Full teardown, not just a `closed` flag: the connection
+            # must leave _conns (and release any fanout waiter) even
+            # though the reader side has not noticed the death yet.
+            await self._close_connection(conn, wait=False)
         except asyncio.CancelledError:
             raise
 
@@ -613,31 +636,63 @@ class CRNNServer:
         except asyncio.CancelledError:
             raise
 
-    async def _run_tick(self) -> TickAck:
-        """One tick: drain the queue through ``process()`` and fan out."""
-        t0 = time.perf_counter()
-        batch = list(self._pending)
-        self._pending.clear()
-        self._space.set()
-        self._m_queue_depth.set(0.0)
-        shed = self._shed_ingest_window
-        self._shed_ingest_window = 0
-        self._tick += 1
-        with self.tracer.span("serve.tick", tick=self._tick, updates=len(batch)):
-            self.monitor.process(batch)
-            events = self.monitor.drain_events()
-            with self.tracer.span("serve.fanout", events=len(events)):
-                await self._fanout(events)
-        self._m_ticks.inc()
-        self._m_events.inc(float(len(events)))
-        self._m_batch_updates.observe(float(len(batch)))
-        self._m_tick_seconds.observe(time.perf_counter() - t0)
-        return TickAck(
-            tick=self._tick, applied=len(batch), shed=shed, events=len(events)
-        )
+    async def _run_tick(self) -> Union[TickAck, ErrorReply]:
+        """One tick: drain the queue through ``process()`` and fan out.
 
-    async def _fanout(self, events) -> None:
-        """Deliver one tick's result deltas to every subscriber."""
+        Ticks are serialized by a lock — a block-policy fanout can park
+        this coroutine on a slow subscriber, and an explicit ``tick``
+        frame (or the timer) arriving meanwhile must not start a second
+        ``process()`` or renumber the tick mid-fanout.
+
+        A batch the monitor refuses (the default ``strict`` ingestion
+        guard raises :class:`~repro.robustness.guard.IngestionError` on
+        NaN coordinates, duplicate inserts, or deletes of unknown ids —
+        all expressible as well-typed wire frames) is dropped atomically
+        (the guard pre-validates before any mutation), counted, and
+        reported as a typed :class:`ErrorReply` instead of escaping —
+        the tick loop and the server outlive any poison update.
+        """
+        async with self._tick_lock:
+            t0 = time.perf_counter()
+            batch = list(self._pending)
+            self._pending.clear()
+            self._space.set()
+            self._m_queue_depth.set(0.0)
+            shed = self._shed_ingest_window
+            self._shed_ingest_window = 0
+            tick = self._tick + 1
+            try:
+                with self.tracer.span("serve.tick", tick=tick, updates=len(batch)):
+                    self.monitor.process(batch)
+                    events = self.monitor.drain_events()
+                    with self.tracer.span("serve.fanout", events=len(events)):
+                        await self._fanout(tick, events)
+            except Exception as exc:
+                self._m_tick_errors.inc()
+                self._m_shed.labels("tick").inc(float(len(batch)))
+                log.warning(
+                    "tick %d failed, %d updates dropped: %s", tick, len(batch), exc
+                )
+                return ErrorReply(
+                    code=proto.E_TICK_FAILED,
+                    detail=f"tick failed, {len(batch)} updates dropped: {exc}",
+                    count=len(batch),
+                )
+            self._tick = tick
+            self._m_ticks.inc()
+            self._m_events.inc(float(len(events)))
+            self._m_batch_updates.observe(float(len(batch)))
+            self._m_tick_seconds.observe(time.perf_counter() - t0)
+            return TickAck(
+                tick=tick, applied=len(batch), shed=shed, events=len(events)
+            )
+
+    async def _fanout(self, tick: int, events) -> None:
+        """Deliver one tick's result deltas to every subscriber.
+
+        ``tick`` is the number captured by the owning :meth:`_run_tick`
+        — frames must not be stamped from live ``self._tick`` state.
+        """
         if not events:
             return
         for conn in list(self._conns.values()):
@@ -653,10 +708,11 @@ class CRNNServer:
                 )
             if not changes:
                 continue
-            await self._send_event_frame(
-                conn, EventBatch(tick=self._tick, changes=changes)
+            delivered = await self._send_event_frame(
+                conn, EventBatch(tick=tick, changes=changes)
             )
-            self._m_fanout.inc(float(len(changes)))
+            if delivered:
+                self._m_fanout.inc(float(len(changes)))
 
     # ------------------------------------------------------------------
     # Requests
@@ -698,16 +754,27 @@ class CRNNServer:
             await self._admit(conn, msg)
         elif isinstance(msg, Tick):
             ack = await self._run_tick()
-            self._send(
-                conn,
-                TickAck(
-                    tick=ack.tick,
-                    applied=ack.applied,
-                    shed=ack.shed,
-                    events=ack.events,
-                    seq=msg.seq,
-                ),
-            )
+            if isinstance(ack, ErrorReply):
+                self._send(
+                    conn,
+                    ErrorReply(
+                        code=ack.code,
+                        detail=ack.detail,
+                        count=ack.count,
+                        seq=msg.seq,
+                    ),
+                )
+            else:
+                self._send(
+                    conn,
+                    TickAck(
+                        tick=ack.tick,
+                        applied=ack.applied,
+                        shed=ack.shed,
+                        events=ack.events,
+                        seq=msg.seq,
+                    ),
+                )
         elif isinstance(msg, Subscribe):
             if msg.qid is None:
                 conn.subscriptions = True

@@ -235,6 +235,13 @@ class TestSlowConsumer:
                 e for e in sub.take_errors() if e.code == proto.E_SLOW_CONSUMER
             ]
             assert farewells, "no typed slow_consumer notice before the close"
+            # The fanout counter only covers frames that entered the
+            # outbox: everything the client read plus the
+            # subscriber_buffer frames stranded there at disconnect —
+            # never the overflow frame that triggered the reject.
+            received = sum(len(ev.changes) for ev in sub.take_events())
+            fanned = thread.server._m_fanout.value
+            assert fanned == received + SLOW_KNOBS["subscriber_buffer"] * Q
             # The producer is unaffected; the server keeps ticking.
             assert producer.stats().serve["crnn_serve_connections"] == 1.0
             ack = producer.tick()
@@ -266,7 +273,66 @@ class TestSlowConsumer:
             fanned_out = thread.server._m_fanout.value
             assert received == fanned_out == (ticks + 1) * Q
             assert thread.server._m_shed.labels("fanout").value == 0
+            # Frames are stamped with the tick that produced them: one
+            # frame per tick, numbered contiguously.
+            assert [ev.tick for ev in frames] == list(range(1, ticks + 2))
             sub.close()
+            producer.close()
+        finally:
+            thread.stop()
+
+    def test_block_fanout_releases_when_the_blocked_subscriber_dies(self):
+        """A subscriber dying mid-`conn.space.wait()` must free the tick.
+
+        Regression: the writer's error path used to only flag
+        ``conn.closed``, so the reader's ``_close_connection`` became a
+        no-op — the connection leaked from ``_conns``, the gauge never
+        dropped, and the tick loop stayed parked on ``conn.space``
+        forever, wedging every client.
+        """
+        thread = ServerThread(slow_config(fanout_policy="block"))
+        host, port = thread.start()
+        try:
+            producer = ServeClient(host, port)
+            sub = ServeClient(host, port, so_rcvbuf=8192)
+            sub.subscribe(None)
+            producer.send_updates(toggle_initial(Q))
+            producer.tick()
+            total_ticks = 60
+            done = threading.Event()
+
+            def drive() -> None:
+                for t in range(total_ticks):
+                    producer.send_updates(toggle_batch(Q, t))
+                    producer.tick()
+                done.set()
+
+            worker = threading.Thread(target=drive, daemon=True)
+            worker.start()
+            # Wait until the fanout is wedged on the non-reading
+            # subscriber: the tick counter stops advancing.  (Only
+            # white-box metric reads here — the producer socket belongs
+            # to the drive thread until it finishes.)
+            wedged = False
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline and not done.is_set():
+                before = thread.server._m_ticks.value
+                time.sleep(0.3)
+                if thread.server._m_ticks.value == before and not done.is_set():
+                    wedged = True
+                    break
+            assert wedged, "fanout never blocked on the slow subscriber"
+            sub.close()  # abrupt death while the tick loop is parked
+            worker.join(timeout=30.0)
+            assert done.is_set(), "tick loop never released after subscriber death"
+            # The dead connection was fully torn down, not leaked.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and len(thread.server._conns) > 1:
+                time.sleep(0.05)
+            assert len(thread.server._conns) == 1
+            assert thread.server._m_connections.value == 1.0
+            ack = producer.tick()  # and the server still serves
+            assert ack.shed == 0
             producer.close()
         finally:
             thread.stop()

@@ -408,3 +408,84 @@ class TestLiveMalformed:
         assert isinstance(conn.recv_msg(), StatsReply)
         conn.close()
         assert_still_serving(host, port)
+
+
+# ----------------------------------------------------------------------
+# Poison batches: updates the monitor itself refuses must not kill ticks
+# ----------------------------------------------------------------------
+class TestPoisonBatch:
+    """Well-typed frames the strict ingestion guard rejects.
+
+    A delete of an unknown id is a perfectly valid wire frame, but the
+    default ``strict`` guard raises ``IngestionError`` inside
+    ``monitor.process()``.  The server must drop the batch atomically,
+    answer an explicit tick with a typed ``tick_failed`` error, keep the
+    timer-driven tick loop alive, and process subsequent good batches.
+    """
+
+    def test_explicit_tick_reports_tick_failed_and_server_survives(self):
+        thread = ServerThread(ServeConfig())
+        host, port = thread.start()
+        try:
+            with ServeClient(host, port) as client:
+                client.remove_object(424242)  # unknown id -> IngestionError
+                with pytest.raises(ServerError) as excinfo:
+                    client.tick()
+                assert excinfo.value.code == proto.E_TICK_FAILED
+                assert excinfo.value.reply.count == 1
+                # The poison batch is gone and the server still works; the
+                # failed tick consumed no tick number.
+                client.add_query(1, 10.0, 10.0)
+                client.add_object(2, 11.0, 10.0)
+                ack = client.tick()
+                assert (ack.tick, ack.applied) == (1, 2)
+                assert isinstance(client.results(1), tuple)
+                serve = client.stats().serve
+                assert serve["crnn_serve_tick_errors_total"] == 1.0
+                assert serve["crnn_serve_shed_total{stage=tick}"] == 1.0
+                assert serve["crnn_serve_ticks_total"] == 1.0
+        finally:
+            thread.stop()
+
+    def test_auto_tick_loop_survives_a_poison_batch(self):
+        import time
+
+        thread = ServerThread(ServeConfig(tick_interval=0.02))
+        host, port = thread.start()
+        try:
+            with ServeClient(host, port) as client:
+                client.remove_object(777)  # unknown id -> IngestionError
+                deadline = time.monotonic() + 10.0
+                while (
+                    thread.server._m_tick_errors.value < 1.0
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+                assert thread.server._m_tick_errors.value >= 1.0
+                # The timer loop is still alive: a good batch drains.
+                client.add_object(1, 5.0, 5.0)
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    serve = client.stats().serve
+                    if (
+                        serve.get("crnn_serve_ticks_total", 0.0) >= 1.0
+                        and serve["crnn_serve_queue_depth"] == 0.0
+                    ):
+                        break
+                    time.sleep(0.02)
+                assert serve.get("crnn_serve_ticks_total", 0.0) >= 1.0
+                assert serve["crnn_serve_queue_depth"] == 0.0
+        finally:
+            thread.stop()
+
+
+class TestClientTimeoutRestore:
+    def test_drain_socket_restores_constructor_timeout(self):
+        thread = ServerThread(ServeConfig())
+        host, port = thread.start()
+        try:
+            with ServeClient(host, port, timeout=5.0) as client:
+                client.drain_socket(0.05)
+                assert client._sock.gettimeout() == 5.0
+        finally:
+            thread.stop()
