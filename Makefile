@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check smoke obs-smoke chaos-smoke chaos-heavy serve-smoke serve-soak bench bench-recovery bench-serve bench-check bench-paper docs docs-lint experiments experiments-quick examples clean
+.PHONY: install test check smoke obs-smoke obs-dist-smoke chaos-smoke chaos-heavy serve-smoke serve-soak bench bench-recovery bench-serve bench-obs bench-check bench-paper docs docs-lint experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -25,6 +25,13 @@ smoke:
 # scrape, snapshot schema, explain(qid), console line (what CI runs).
 obs-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.smoke --quick
+
+# Distributed observability end-to-end at K=4 (DESIGN §12): obs-on/off
+# bit-parity on the process executor, worker metric delta aggregation,
+# one coherent trace through serve -> scatter -> worker -> gather ->
+# fanout, and a chaos kill producing a renderable flight dump.
+obs-dist-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.dist_smoke --quick
 
 # Seeded 60-second worker-kill loop: SIGKILLs every worker every 5th
 # tick and asserts the drained events and logical counters stay
@@ -62,6 +69,12 @@ serve-soak:
 # BENCH_pr7.json. Acceptance: <= 15% overhead over direct process().
 bench-serve:
 	PYTHONPATH=src $(PYTHON) -m repro.serve.bench --pr7 --out BENCH_pr7.json
+
+# Distributed-observability overhead suite: K=2 process executor with
+# obs off vs the full DESIGN §12 stack on; regenerates BENCH_pr8.json.
+# Acceptance: <= 5% update-phase overhead.
+bench-obs:
+	PYTHONPATH=src $(PYTHON) -m repro.shard.bench --pr8 --out BENCH_pr8.json
 
 # Regression gate against the checked-in BENCH_pr2.json (what CI runs).
 bench-check:

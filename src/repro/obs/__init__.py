@@ -20,6 +20,10 @@ Modules:
   parser, snapshot schema validation;
 * :mod:`repro.obs.explain` — ``monitor.explain(qid)`` per-query health
   reports;
+* :mod:`repro.obs.dist` — cross-process trace propagation and
+  worker-delta aggregation for the sharded deployment (DESIGN §12);
+* :mod:`repro.obs.flight` — the crash-safe coordinator-side flight
+  recorder dumped on worker failures (``tools/flightdump.py`` renders);
 * :mod:`repro.obs.console` — rate-limited live terminal summary;
 * :mod:`repro.obs.logutil` — rate-limited logging used by
   :mod:`repro.robustness`;
@@ -30,6 +34,13 @@ Modules:
 from repro.obs.config import ObsConfig
 from repro.obs.console import ConsoleSummary
 from repro.obs.core import Observability
+from repro.obs.dist import (
+    ShardObsMerger,
+    TraceContext,
+    WorkerObs,
+    current_context,
+    span_in_context,
+)
 from repro.obs.explain import QueryDiagnostics, SectorDiagnostics, explain_query
 from repro.obs.export import (
     ObsHTTPServer,
@@ -38,6 +49,7 @@ from repro.obs.export import (
     parse_prometheus_text,
     validate_snapshot,
 )
+from repro.obs.flight import FlightRecorder, load_dump, render_timeline
 from repro.obs.health import QueryHealth, QueryHealthTracker
 from repro.obs.logutil import RateLimitedLogger
 from repro.obs.metrics import (
@@ -64,6 +76,14 @@ __all__ = [
     "QueryDiagnostics",
     "SectorDiagnostics",
     "explain_query",
+    "ShardObsMerger",
+    "TraceContext",
+    "WorkerObs",
+    "current_context",
+    "span_in_context",
+    "FlightRecorder",
+    "load_dump",
+    "render_timeline",
     "ObsHTTPServer",
     "PrometheusParseError",
     "SnapshotSchemaError",

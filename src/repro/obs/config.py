@@ -46,6 +46,14 @@ class ObsConfig:
     #: Maintain per-query health counters (lazy-update deferrals,
     #: recompute causes, staleness) behind :meth:`CRNNMonitor.explain`.
     diagnostics: bool = True
+    #: Directory the sharded monitor's flight recorder dumps into on a
+    #: :class:`~repro.shard.supervisor.ShardWorkerError` (typically the
+    #: supervision WAL directory).  ``None`` keeps the recorder
+    #: in-memory only (:meth:`~repro.obs.flight.FlightRecorder.dump`
+    #: then returns ``None``).
+    flight_dir: Optional[str] = None
+    #: Per-shard capacity of the flight recorder's event ring.
+    flight_capacity: int = 256
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.sample_rate <= 1.0):
@@ -58,3 +66,5 @@ class ObsConfig:
             raise ValueError("trace_sink='jsonl' requires trace_path")
         if self.ring_capacity < 1:
             raise ValueError("ring_capacity must be >= 1")
+        if self.flight_capacity < 1:
+            raise ValueError("flight_capacity must be >= 1")

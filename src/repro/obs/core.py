@@ -189,6 +189,8 @@ class Observability:
                 "trace_sink": self.config.trace_sink,
                 "ring_capacity": self.config.ring_capacity,
                 "diagnostics": self.config.diagnostics,
+                "flight_dir": self.config.flight_dir,
+                "flight_capacity": self.config.flight_capacity,
             }
         return {
             "schema": SNAPSHOT_SCHEMA,

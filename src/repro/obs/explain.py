@@ -83,6 +83,9 @@ class QueryDiagnostics:
     batches_since_result_change: Optional[int] = None
     #: False when built without the health tracker (structural info only).
     diagnostics_enabled: bool = False
+    #: Owning shard under a sharded deployment (stamped by the
+    #: coordinator's ``explain()``; None from a single monitor).
+    shard: Optional[int] = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe form (inf distances become the string ``"inf"``)."""

@@ -34,18 +34,90 @@ __all__ = [
 
 CONTENT_TYPE_PROM = "text/plain; version=0.0.4; charset=utf-8"
 
-_SAMPLE_RE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>[^\s]+)"
-    r"(?:\s+(?P<ts>-?\d+))?$"
-)
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_TS_RE = re.compile(r"^-?\d+$")
 _TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
 
 
 class PrometheusParseError(ValueError):
     """The text is not valid Prometheus exposition format."""
+
+
+def _parse_labels(raw: str, lineno: int) -> dict[str, str]:
+    """Parse one label block's interior into ``{name: raw_value}``.
+
+    Values keep their wire escaping (``\\\\``, ``\\"``, ``\\n``) so
+    series keys round-trip byte-for-byte against the renderer's
+    ``_series_key`` output.  Duplicate label keys — which Prometheus
+    forbids and ``dict()`` would silently collapse — raise.
+    """
+    labels: dict[str, str] = {}
+    pos, end = 0, len(raw)
+    while pos < end:
+        m = _LABEL_RE.match(raw, pos)
+        if m is None:
+            raise PrometheusParseError(f"line {lineno}: malformed labels: {raw!r}")
+        key = m.group(1)
+        if key in labels:
+            raise PrometheusParseError(
+                f"line {lineno}: duplicate label key {key!r}"
+            )
+        labels[key] = m.group(2)
+        pos = m.end()
+        if pos < end:
+            if raw[pos] != ",":
+                raise PrometheusParseError(
+                    f"line {lineno}: malformed labels: {raw!r}"
+                )
+            pos += 1  # tolerate a trailing comma, as Prometheus does
+    return labels
+
+
+def _split_sample(line: str, lineno: int) -> tuple[str, dict[str, str], str]:
+    """Split one sample line into ``(name, labels, value_text)``.
+
+    The label block is scanned quote- and escape-aware, so a ``}`` (or
+    anything else) inside a quoted label value cannot truncate it — the
+    failure mode of the naive ``\\{[^}]*\\}`` regex this replaced.
+    """
+    m = _NAME_RE.match(line)
+    if m is None:
+        raise PrometheusParseError(f"line {lineno}: malformed sample: {line!r}")
+    name = m.group(0)
+    pos = m.end()
+    labels: dict[str, str] = {}
+    if pos < len(line) and line[pos] == "{":
+        scan, in_quotes, escaped = pos + 1, False, False
+        while scan < len(line):
+            ch = line[scan]
+            if escaped:
+                escaped = False
+            elif in_quotes and ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_quotes = not in_quotes
+            elif ch == "}" and not in_quotes:
+                break
+            scan += 1
+        else:
+            raise PrometheusParseError(
+                f"line {lineno}: unterminated label block: {line!r}"
+            )
+        labels = _parse_labels(line[pos + 1 : scan], lineno)
+        pos = scan + 1
+    rest = line[pos:]
+    if not rest[:1].isspace():
+        raise PrometheusParseError(f"line {lineno}: malformed sample: {line!r}")
+    parts = rest.split()
+    if len(parts) == 2:
+        if not _TS_RE.match(parts[1]):
+            raise PrometheusParseError(
+                f"line {lineno}: malformed timestamp: {parts[1]!r}"
+            )
+    elif len(parts) != 1:
+        raise PrometheusParseError(f"line {lineno}: malformed sample: {line!r}")
+    return name, labels, parts[0]
 
 
 def _parse_value(raw: str) -> float:
@@ -64,10 +136,13 @@ def _parse_value(raw: str) -> float:
 def parse_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
     """Parse exposition text into ``{family: {type, help, samples}}``.
 
-    ``samples`` maps the full series key (name + sorted label string) to
-    the parsed float value.  Raises :class:`PrometheusParseError` on any
-    malformed line, unknown TYPE, samples preceding their TYPE line, or
-    duplicate series.
+    ``samples`` maps the full series key (name + sorted label string,
+    label values kept in their escaped wire form) to the parsed float
+    value.  Raises :class:`PrometheusParseError` on any malformed line,
+    unknown TYPE, samples preceding their TYPE line, duplicate series,
+    or a sample repeating a label key.  Label values may contain any
+    escaped content — including ``}`` and commas — without confusing
+    the scanner.
     """
     families: dict[str, dict[str, Any]] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -95,10 +170,7 @@ def parse_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
             continue
         if line.startswith("#"):
             continue  # comment
-        m = _SAMPLE_RE.match(line)
-        if m is None:
-            raise PrometheusParseError(f"line {lineno}: malformed sample: {line!r}")
-        name = m.group("name")
+        name, labels, value_text = _split_sample(line, lineno)
         base = name
         for suffix in ("_bucket", "_sum", "_count"):
             if name.endswith(suffix) and name[: -len(suffix)] in families:
@@ -109,16 +181,12 @@ def parse_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
             raise PrometheusParseError(
                 f"line {lineno}: sample {name!r} precedes its TYPE declaration"
             )
-        labels_raw = m.group("labels") or ""
-        labels = dict(_LABEL_RE.findall(labels_raw))
-        if labels_raw.strip() and not labels:
-            raise PrometheusParseError(f"line {lineno}: malformed labels: {labels_raw!r}")
         key = name
         if labels:
             key += "{" + ",".join(f'{k}="{v}"' for k, v in sorted(labels.items())) + "}"
         if key in fam["samples"]:
             raise PrometheusParseError(f"line {lineno}: duplicate series {key!r}")
-        fam["samples"][key] = _parse_value(m.group("value"))
+        fam["samples"][key] = _parse_value(value_text)
     return families
 
 

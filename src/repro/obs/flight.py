@@ -1,0 +1,180 @@
+"""Crash-safe flight recorder for the sharded monitor.
+
+A worker that dies on SIGKILL cannot flush anything, so the recorder
+lives on the **coordinator**: per shard, a bounded ring of the most
+recent op headers (recorded at send time — before the op can kill the
+worker), merged worker span deltas, and supervision events.  On every
+:class:`~repro.shard.supervisor.ShardWorkerError` (and on chaos kills,
+which surface as one) the supervisor calls :meth:`FlightRecorder.dump`,
+which atomically writes a JSON post-mortem — the last-N-things-that-
+happened view ``tools/flightdump.py`` renders as a timeline.
+
+The recorder is bounded (``capacity`` entries per shard), allocation-
+light (plain dicts into a deque), and safe to leave on in production;
+with ``flight_dir=None`` it records in memory and :meth:`dump` returns
+``None`` without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Any, Optional
+
+__all__ = ["FlightRecorder", "load_dump", "render_timeline"]
+
+#: Schema tag of a dump file.
+FLIGHT_SCHEMA = "crnn-flight"
+FLIGHT_VERSION = 1
+
+
+class FlightRecorder:
+    """Bounded per-shard ring of recent ops/spans/events, dumpable."""
+
+    def __init__(
+        self,
+        shards: int,
+        capacity: int = 256,
+        flight_dir: Optional[str] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.shards = shards
+        self.capacity = capacity
+        self.flight_dir = flight_dir
+        self._rings: dict[int, deque] = {
+            k: deque(maxlen=capacity) for k in range(shards)
+        }
+        self._seq = 0  # global order across shards (one coordinator thread)
+        self.dumps_written = 0
+
+    # ------------------------------------------------------------------
+    def _entry(self, kind: str, **data: Any) -> dict:
+        self._seq += 1
+        entry = {"seq": self._seq, "t": time.time(), "kind": kind}
+        entry.update(data)
+        return entry
+
+    def record_op(self, shard: int, op: str) -> None:
+        """Note an op header at *send* time (survives the worker dying on it)."""
+        self._rings[shard].append(self._entry("op", op=op))
+
+    def record_spans(self, shard: int, spans: list) -> None:
+        """Note a reply's merged worker span dicts."""
+        ring = self._rings[shard]
+        for d in spans:
+            ring.append(
+                self._entry(
+                    "span",
+                    name=d.get("name"),
+                    trace_id=d.get("trace_id"),
+                    span_id=d.get("span_id"),
+                    duration=d.get("duration"),
+                    error=d.get("error"),
+                )
+            )
+
+    def record_event(self, shard: int, event: str, detail: str = "") -> None:
+        """Note a supervision event (failure, respawn, degradation...)."""
+        self._rings[shard].append(self._entry("event", event=event, detail=detail))
+
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        reason: str,
+        shard: Optional[int] = None,
+        error: Optional[str] = None,
+    ) -> dict:
+        """The dump payload: every shard's ring, oldest entries first."""
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "version": FLIGHT_VERSION,
+            "reason": reason,
+            "failed_shard": shard,
+            "error": error,
+            "wall_time": time.time(),
+            "shards": {str(k): list(ring) for k, ring in self._rings.items()},
+        }
+
+    def dump(
+        self,
+        reason: str,
+        shard: Optional[int] = None,
+        error: Optional[str] = None,
+    ) -> Optional[str]:
+        """Write a post-mortem JSON into ``flight_dir``; returns its path.
+
+        Atomic (tmp-write + rename) so a dump interrupted by process
+        death never leaves a truncated file.  With no ``flight_dir``
+        the recorder stays in-memory and this returns ``None``.
+        """
+        if self.flight_dir is None:
+            return None
+        os.makedirs(self.flight_dir, exist_ok=True)
+        self.dumps_written += 1
+        stamp = time.strftime("%Y%m%dT%H%M%S")
+        name = f"flight-{stamp}-{os.getpid()}-{self.dumps_written:03d}.json"
+        path = os.path.join(self.flight_dir, name)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(reason, shard, error), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+
+def load_dump(path: str) -> dict:
+    """Read and structurally validate one flight dump file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(f"{path}: not a {FLIGHT_SCHEMA} dump")
+    if data.get("version") != FLIGHT_VERSION:
+        raise ValueError(f"{path}: unsupported version {data.get('version')!r}")
+    if not isinstance(data.get("shards"), dict):
+        raise ValueError(f"{path}: missing shards section")
+    return data
+
+
+def render_timeline(dump: dict) -> str:
+    """Human-readable timeline of a dump (what ``flightdump.py`` prints).
+
+    Entries from every shard are interleaved by their global sequence
+    number; timestamps are printed relative to the earliest entry.
+    """
+    entries = []
+    for shard_key, ring in sorted(dump["shards"].items(), key=lambda kv: int(kv[0])):
+        for e in ring:
+            entries.append((e.get("seq", 0), int(shard_key), e))
+    entries.sort(key=lambda item: item[0])
+    t0 = min((e.get("t", 0.0) for _, _, e in entries), default=0.0)
+    lines = [
+        f"flight dump: reason={dump.get('reason')!r} "
+        f"failed_shard={dump.get('failed_shard')} "
+        f"entries={len(entries)}"
+    ]
+    if dump.get("error"):
+        lines.append(f"error: {dump['error']}")
+    for _seq, shard, e in entries:
+        rel = e.get("t", t0) - t0
+        kind = e.get("kind")
+        if kind == "op":
+            desc = f"op    {e.get('op')}"
+        elif kind == "span":
+            dur = e.get("duration")
+            desc = (
+                f"span  {e.get('name')} "
+                f"t{e.get('trace_id')}/s{e.get('span_id')}"
+                + (f" {dur * 1e3:.2f}ms" if isinstance(dur, (int, float)) else "")
+                + (f" ERROR {e['error']}" if e.get("error") else "")
+            )
+        elif kind == "event":
+            desc = f"event {e.get('event')}" + (
+                f": {e['detail']}" if e.get("detail") else ""
+            )
+        else:  # pragma: no cover - forward compat
+            desc = f"{kind}  {e!r}"
+        lines.append(f"  +{rel:8.3f}s shard {shard}  {desc}")
+    return "\n".join(lines)

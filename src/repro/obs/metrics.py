@@ -217,7 +217,15 @@ class _Family:
 
 
 class CollectedFamily:
-    """A metric family produced by a pull collector at collection time."""
+    """A metric family produced by a pull collector at collection time.
+
+    Construction validates what the renderer cannot express safely:
+    every sample's label *names* must be legal Prometheus label names,
+    and no two samples may share a series key — a duplicate series
+    renders as two identical sample lines, which a strict scraper (and
+    :func:`repro.obs.export.parse_prometheus_text`) rejects.  Label
+    *values* are unrestricted; the renderer escapes them.
+    """
 
     __slots__ = ("name", "kind", "help", "samples")
 
@@ -228,6 +236,20 @@ class CollectedFamily:
             raise ValueError("collectors may only produce counters and gauges")
         self.kind = kind
         self.help = help_text
+        seen: set[str] = set()
+        for labels, _value in samples:
+            for label_name in labels:
+                if not isinstance(label_name, str) or not _LABEL_RE.match(label_name):
+                    raise ValueError(
+                        f"invalid label name {label_name!r} in collected "
+                        f"family {name!r}"
+                    )
+            key = _series_key(name, labels)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate series {key!r} in collected family {name!r}"
+                )
+            seen.add(key)
         self.samples = samples
 
 

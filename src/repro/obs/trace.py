@@ -251,12 +251,17 @@ class Tracer:
         sink: Optional[SpanSink] = None,
         sample_rate: float = 1.0,
         enabled: bool = True,
+        span_id_base: int = 0,
     ):
         if not (0.0 <= sample_rate <= 1.0):
             raise ValueError("sample_rate must be in [0, 1]")
         self.enabled = enabled
         self.sink: SpanSink = sink if sink is not None else InMemorySink()
         self.sample_rate = sample_rate
+        #: Added to every issued span id — distributed tracers (one per
+        #: shard worker) carve disjoint id ranges out of one trace so
+        #: merged spans never collide (see :mod:`repro.obs.dist`).
+        self.span_id_base = span_id_base
         self._stack: list[Span] = []
         self._trace_seq = 0  # root spans started, sampled or not
         self._span_seq = 0
@@ -280,7 +285,48 @@ class Tracer:
             self._trace_id = self._trace_seq
         self._span_seq += 1
         parent = self._stack[-1].span_id if self._stack else None
-        return _SpanCtx(self, Span(self._trace_id, self._span_seq, parent, name, attrs or None))
+        return _SpanCtx(
+            self,
+            Span(
+                self._trace_id,
+                self.span_id_base + self._span_seq,
+                parent,
+                name,
+                attrs or None,
+            ),
+        )
+
+    def adopt(self, name: str, trace_id: int, parent_id: Optional[int] = None, **attrs: Any):
+        """Open a root span *inside a remote trace*; use as a context manager.
+
+        The remote side (coordinator or serve client) already made the
+        sampling decision and shipped ``(trace_id, parent_id)`` across
+        the process/wire boundary — so this bypasses local sampling and
+        records unconditionally, stitching the local subtree into the
+        remote trace.  Does not consume a local trace sequence number:
+        adopted traces never perturb this tracer's own deterministic
+        sampling schedule.
+
+        Falls back to a plain :meth:`span` when a local span is already
+        open (a context cannot re-root an in-progress trace), and to the
+        shared no-op when the tracer is disabled or suppressing.
+        """
+        if not self.enabled or self._suppressing:
+            return _NOOP
+        if self._stack:
+            return self.span(name, **attrs)
+        self._trace_id = trace_id
+        self._span_seq += 1
+        return _SpanCtx(
+            self,
+            Span(
+                trace_id,
+                self.span_id_base + self._span_seq,
+                parent_id,
+                name,
+                attrs or None,
+            ),
+        )
 
     def _sampled(self, seq: int) -> bool:
         r = self.sample_rate

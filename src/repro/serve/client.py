@@ -238,9 +238,15 @@ class ServeClient:
         self.send_updates([QueryUpdate(qid, None)])
 
     # -- requests ------------------------------------------------------
-    def tick(self) -> proto.TickAck:
-        """Flush everything enqueued so far through one ``process()``."""
-        return self._request(Tick(seq=self.session.next_seq()))
+    def tick(self, trace: Optional[tuple] = None) -> proto.TickAck:
+        """Flush everything enqueued so far through one ``process()``.
+
+        ``trace`` optionally carries a client-side distributed trace
+        context ``(trace_id, parent_span_id)``; a tracing-enabled server
+        adopts it for the whole tick, so the client's trace spans serve
+        ingestion down to the shard workers (DESIGN §12).
+        """
+        return self._request(Tick(trace=trace, seq=self.session.next_seq()))
 
     def subscribe(self, qid: Optional[int] = None) -> None:
         """Receive result deltas for ``qid`` (``None`` = every query)."""
@@ -366,9 +372,13 @@ class AsyncServeClient:
             )
         await self._writer.drain()
 
-    async def tick(self) -> proto.TickAck:
-        """Flush everything enqueued so far through one ``process()``."""
-        return await self._request(Tick(seq=self.session.next_seq()))
+    async def tick(self, trace: Optional[tuple] = None) -> proto.TickAck:
+        """Flush everything enqueued so far through one ``process()``.
+
+        ``trace`` is the same optional ``(trace_id, parent_span_id)``
+        context as :meth:`ServeClient.tick`.
+        """
+        return await self._request(Tick(trace=trace, seq=self.session.next_seq()))
 
     async def subscribe(self, qid: Optional[int] = None) -> None:
         """Receive result deltas for ``qid`` (``None`` = every query)."""

@@ -339,6 +339,12 @@ class Batch(_Base):
 
     TYPE = "batch"
     updates: tuple[Update, ...] = ()
+    #: Optional distributed trace context ``(trace_id, parent_span_id)``
+    #: (the parent may be ``null`` on the wire); stashed by the server
+    #: and adopted by the tick that consumes this batch, so one client
+    #: trace spans serve ingestion through the shard workers.  Absent
+    #: from v1 frames written by older clients — decoding is unchanged.
+    trace: Optional[tuple] = None
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -362,6 +368,10 @@ class Tick(_Base):
     """Flush the pending queue through one ``process()`` batch now."""
 
     TYPE = "tick"
+    #: Optional trace context ``(trace_id, parent_span_id)``; overrides
+    #: any context stashed by this tick's batch frames (see
+    #: :attr:`Batch.trace`).
+    trace: Optional[tuple] = None
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -532,11 +542,16 @@ def to_wire(msg: Message) -> dict:
         out["seq"] = msg.seq
     if type(msg) is Batch:
         _enc_batch(msg, out)
+        if msg.trace is not None:
+            out["trace"] = _encode_value(msg.trace)
         return out
     for f in fields(msg):
         if f.name == "seq":
             continue
-        out[f.name] = _encode_value(getattr(msg, f.name))
+        value = getattr(msg, f.name)
+        if f.name == "trace" and value is None:
+            continue  # keep no-trace frames byte-identical to v1 peers
+        out[f.name] = _encode_value(value)
     return out
 
 
@@ -568,6 +583,27 @@ def _need_dict(raw: dict, name: str) -> dict:
     if not isinstance(value, dict):
         raise ProtocolError(E_BAD_FIELD, f"{name} must be an object")
     return value
+
+
+def _dec_trace(raw: dict) -> Optional[tuple]:
+    """Validate an optional ``trace`` field: ``[trace_id, parent|null]``."""
+    value = raw.get("trace")
+    if value is None:
+        return None
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or not isinstance(value[0], int)
+        or isinstance(value[0], bool)
+        or (
+            value[1] is not None
+            and (not isinstance(value[1], int) or isinstance(value[1], bool))
+        )
+    ):
+        raise ProtocolError(
+            E_BAD_FIELD, "trace must be [trace_id, parent_span_id|null]"
+        )
+    return (value[0], value[1])
 
 
 def _dec_changes(raw: Any) -> tuple[tuple[int, int, bool], ...]:
@@ -627,6 +663,9 @@ def parse_message(raw: Any) -> Message:
             kwargs["client"] = _need_str(raw, "client", "")
         elif cls is Batch:
             kwargs["updates"] = _dec_batch_updates(raw)
+            kwargs["trace"] = _dec_trace(raw)
+        elif cls is Tick:
+            kwargs["trace"] = _dec_trace(raw)
         elif cls in (Subscribe, Unsubscribe):
             kwargs["qid"] = _need_int(raw, "qid", None, optional=True)
         elif cls is GetResults:

@@ -51,6 +51,7 @@ from typing import Optional, Union
 
 from repro.core.config import MonitorConfig
 from repro.core.monitor import CRNNMonitor
+from repro.obs.dist import TraceContext, span_in_context
 from repro.serve import protocol as proto
 from repro.serve.protocol import (
     Ack,
@@ -227,6 +228,16 @@ class CRNNServer:
         self._next_cid = 0
         self._tick = 0
         self._shed_ingest_window = 0  # sheds since the last tick (TickAck.shed)
+        #: Client-propagated trace context stashed by batch frames and
+        #: adopted by the next tick (last writer wins; an explicit
+        #: ``tick`` frame's own context overrides it).
+        self._pending_ctx: Optional[TraceContext] = None
+        #: perf_counter of the first batch-frame decode since the last
+        #: tick — the start of the e2e request-latency window.
+        self._window_t0: Optional[float] = None
+        #: perf_counter of the running tick's first delivered fanout
+        #: write (set by :meth:`_fanout`; the request window's end).
+        self._first_fanout_at: Optional[float] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._tick_task: Optional[asyncio.Task] = None
         self._tick_lock = asyncio.Lock()
@@ -285,6 +296,16 @@ class CRNNServer:
             "crnn_serve_batch_updates",
             "updates per tick batch",
             buckets=(1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0),
+        )
+        self._m_request_seconds = reg.histogram(
+            "crnn_serve_request_seconds",
+            "first batch-frame decode to first delivered fanout write "
+            "(tick end when nothing fans out)",
+        )
+        self._m_e2e_seconds = reg.histogram(
+            "crnn_tick_e2e_seconds",
+            "end-to-end tick latency by stage (process|fanout|total)",
+            labelnames=("stage",),
         )
 
     # ------------------------------------------------------------------
@@ -636,13 +657,22 @@ class CRNNServer:
         except asyncio.CancelledError:
             raise
 
-    async def _run_tick(self) -> Union[TickAck, ErrorReply]:
+    async def _run_tick(
+        self, trace: Optional[tuple] = None
+    ) -> Union[TickAck, ErrorReply]:
         """One tick: drain the queue through ``process()`` and fan out.
 
         Ticks are serialized by a lock — a block-policy fanout can park
         this coroutine on a slow subscriber, and an explicit ``tick``
         frame (or the timer) arriving meanwhile must not start a second
         ``process()`` or renumber the tick mid-fanout.
+
+        ``trace`` is an explicit ``(trace_id, parent_span_id)`` context
+        from a ``tick`` frame; it overrides any context stashed by this
+        tick's batch frames, and when either is present the ``serve.tick``
+        span *adopts* the client's trace id, so serve ingestion, the
+        coordinator's scatter/gather spans, and the shard workers' spans
+        all land in one distributed trace.
 
         A batch the monitor refuses (the default ``strict`` ingestion
         guard raises :class:`~repro.robustness.guard.IngestionError` on
@@ -654,6 +684,14 @@ class CRNNServer:
         """
         async with self._tick_lock:
             t0 = time.perf_counter()
+            ctx = (
+                TraceContext(trace[0], trace[1])
+                if trace is not None
+                else self._pending_ctx
+            )
+            self._pending_ctx = None
+            window_t0, self._window_t0 = self._window_t0, None
+            self._first_fanout_at = None
             batch = list(self._pending)
             self._pending.clear()
             self._space.set()
@@ -662,9 +700,12 @@ class CRNNServer:
             self._shed_ingest_window = 0
             tick = self._tick + 1
             try:
-                with self.tracer.span("serve.tick", tick=tick, updates=len(batch)):
+                with span_in_context(
+                    self.tracer, "serve.tick", ctx, tick=tick, updates=len(batch)
+                ):
                     self.monitor.process(batch)
                     events = self.monitor.drain_events()
+                    t_processed = time.perf_counter()
                     with self.tracer.span("serve.fanout", events=len(events)):
                         await self._fanout(tick, events)
             except Exception as exc:
@@ -682,7 +723,18 @@ class CRNNServer:
             self._m_ticks.inc()
             self._m_events.inc(float(len(events)))
             self._m_batch_updates.observe(float(len(batch)))
-            self._m_tick_seconds.observe(time.perf_counter() - t0)
+            t_end = time.perf_counter()
+            self._m_tick_seconds.observe(t_end - t0)
+            self._m_e2e_seconds.labels("process").observe(t_processed - t0)
+            self._m_e2e_seconds.labels("fanout").observe(t_end - t_processed)
+            self._m_e2e_seconds.labels("total").observe(t_end - t0)
+            if window_t0 is not None:
+                request_end = (
+                    self._first_fanout_at
+                    if self._first_fanout_at is not None
+                    else t_end
+                )
+                self._m_request_seconds.observe(request_end - window_t0)
             return TickAck(
                 tick=tick, applied=len(batch), shed=shed, events=len(events)
             )
@@ -712,6 +764,8 @@ class CRNNServer:
                 conn, EventBatch(tick=tick, changes=changes)
             )
             if delivered:
+                if self._first_fanout_at is None:
+                    self._first_fanout_at = time.perf_counter()
                 self._m_fanout.inc(float(len(changes)))
 
     # ------------------------------------------------------------------
@@ -751,9 +805,13 @@ class CRNNServer:
                 ),
             )
         elif isinstance(msg, Batch):
+            if self._window_t0 is None:
+                self._window_t0 = time.perf_counter()
+            if msg.trace is not None:
+                self._pending_ctx = TraceContext(msg.trace[0], msg.trace[1])
             await self._admit(conn, msg)
         elif isinstance(msg, Tick):
-            ack = await self._run_tick()
+            ack = await self._run_tick(trace=msg.trace)
             if isinstance(ack, ErrorReply):
                 self._send(
                     conn,

@@ -423,6 +423,10 @@ def dispatch_op(engine: ShardEngine, op: str, args: tuple) -> object:
         return engine.add_query_silent(args[0], args[1], args[2])
     if op == "region":
         return engine.inner.monitoring_region(args[0])
+    if op == "explain":
+        from repro.obs.explain import explain_query
+
+        return explain_query(engine.inner, args[0])
     if op == "results":
         return engine.inner.results()
     if op == "stats":

@@ -25,6 +25,7 @@ partway through spawning or the owner forgets to call ``close()``.
 
 from __future__ import annotations
 
+import logging
 import os
 import signal
 import weakref
@@ -37,6 +38,10 @@ from repro.core.stats import StatCounters
 from repro.core.update_pie import build_affected_map, build_affected_map_vector
 from repro.geometry.point import Point
 from repro.grid.index import GridIndex
+from repro.obs.config import SINK_MEMORY, ObsConfig
+from repro.obs.dist import WorkerObs, current_context, split_request, wrap_request
+from repro.obs.explain import explain_query
+from repro.obs.logutil import RateLimitedLogger
 from repro.shard.engine import ShardEngine, TaggedEvent, dispatch_op
 from repro.shard.plan import StripePlan
 from repro.shard.supervisor import (
@@ -45,6 +50,8 @@ from repro.shard.supervisor import (
     SupervisionConfig,
     SupervisorHooks,
 )
+
+_log = RateLimitedLogger(logging.getLogger("repro.shard.executor"), burst=1)
 
 __all__ = [
     "SerialExecutor",
@@ -100,6 +107,7 @@ class SerialExecutor:
         plan: StripePlan,
         stats: StatCounters,
         tracer: Any = None,
+        health: Any = None,
     ):
         self.config = config
         self.plan = plan
@@ -113,6 +121,14 @@ class SerialExecutor:
         self.engines = [
             ShardEngine(config, plan, k, grid=self.grid) for k in range(plan.shards)
         ]
+        if health is not None:
+            # Wire the coordinator's per-query health tracker into every
+            # engine (qids are disjoint across stripes, so one shared
+            # tracker is exact); the batch clock advances coordinator-
+            # side via Observability.observe_batch().
+            for engine in self.engines:
+                engine.inner.obs.health = health
+                engine.inner.circ.health = health
         self._shim = _MapShim(self.grid, stats)
 
     # -- object phases --------------------------------------------------
@@ -201,6 +217,10 @@ class SerialExecutor:
         """The owner engine's pie/circ view of ``qid``."""
         return self.engines[shard].inner.monitoring_region(qid)
 
+    def explain(self, shard: int, qid: int):
+        """Per-query diagnostics from ``qid``'s owner engine."""
+        return explain_query(self.engines[shard].inner, qid)
+
     def shard_results(self, shard: int) -> dict[int, frozenset[int]]:
         """Results of every query owned by shard ``shard``."""
         return self.engines[shard].inner.results()
@@ -253,7 +273,10 @@ def _worker_main(
     """Worker process loop: build one private-grid engine, serve RPCs.
 
     Runs until a ``close`` request (or EOF on the pipe).  Every request
-    is a ``(op, *args)`` tuple; every reply is ``("ok", payload)`` or
+    is a ``(op, *args)`` tuple, optionally wrapped in a trace-context
+    envelope (:func:`repro.obs.dist.wrap_request`); every reply is
+    ``("ok", payload)`` — or ``("ok", payload, obs_delta)`` when the
+    worker-side observability kit has counters/spans to piggyback — or
     ``("err", repr)`` so coordinator-side errors carry context.  The op
     set itself lives in :func:`~repro.shard.engine.dispatch_op`; this
     loop adds the lifecycle ops — ``close``, ``restore`` (rebuild the
@@ -261,6 +284,13 @@ def _worker_main(
     ``checkpoint`` (exact state capture) — and, when a
     :class:`~repro.shard.chaos.ChaosSpec` is supplied, the seeded fault
     injection around each request.
+
+    When ``config.observability`` is set (the coordinator derives a
+    worker-safe :class:`~repro.obs.config.ObsConfig`), the worker runs a
+    :class:`~repro.obs.dist.WorkerObs`: each dispatched op executes
+    under a ``worker.<op>`` span adopted into the coordinator's trace
+    when a context rode the request, and the op's exact counter deltas
+    (plus any recorded spans) ride back on the reply.
     """
     import time as _time
 
@@ -270,12 +300,22 @@ def _worker_main(
 
     plan = StripePlan(Rect(*plan_args[0]), plan_args[1], plan_args[2])
     engine = ShardEngine(config, plan, shard, grid=None)
+    obs_cfg = config.observability
+    wobs = None
+    if obs_cfg is not None and obs_cfg.enabled:
+        wobs = WorkerObs(
+            shard,
+            ring_capacity=obs_cfg.ring_capacity,
+            diagnostics=obs_cfg.diagnostics,
+        )
+        wobs.wire(engine)
     agent = ChaosAgent(chaos, shard, incarnation) if chaos is not None else None
     while True:
         try:
             request = conn.recv()
         except (EOFError, OSError):
             break
+        ctx, request = split_request(request)
         op, args = request[0], request[1:]
         action = agent.plan(op) if agent is not None else None
         if action is not None:
@@ -284,11 +324,17 @@ def _worker_main(
             if action.kill_point == "mid_tick":
                 os.kill(os.getpid(), signal.SIGKILL)
         try:
+            delta = None
             if op == "close":
                 conn.send(("ok", None))
                 break
             if op == "restore":
                 engine = rehydrate_engine(config, plan, shard, args[0])
+                if wobs is not None:
+                    # Rewire the kit and rebase its counter baseline on
+                    # the restored values: replayed work must not be
+                    # re-reported (the coordinator merged the originals).
+                    wobs.wire(engine)
                 payload = None
             elif op == "arm":
                 if agent is not None:
@@ -296,12 +342,20 @@ def _worker_main(
                 payload = None
             elif op == "checkpoint":
                 payload = engine_snapshot(engine)
+            elif wobs is not None:
+                with wobs.op_span(ctx, op):
+                    payload = dispatch_op(engine, op, args)
+                    if op == "tick":
+                        wobs.on_tick()
+                delta = wobs.delta(engine.inner.stats)
             else:
                 payload = dispatch_op(engine, op, args)
             if action is not None and action.kill_point == "pre_reply":
                 os.kill(os.getpid(), signal.SIGKILL)
             if action is not None and action.malform:
                 conn.send("garbled reply (chaos)")
+            elif delta is not None:
+                conn.send(("ok", payload, delta))
             else:
                 conn.send(("ok", payload))
             if action is not None and action.kill_point == "post_reply":
@@ -330,6 +384,40 @@ def _spawn_worker(ctx, worker_config, plan_args, shard, chaos, incarnation):
     proc.start()
     child.close()
     return proc, parent
+
+
+def _worker_obs_config(config: MonitorConfig) -> tuple[MonitorConfig, bool]:
+    """Derive a shard worker's monitor config from the coordinator's.
+
+    PR 4 silently stripped ``observability`` from worker configs, making
+    every worker-side CPM/circ operation invisible.  Now an enabled
+    coordinator config yields a *worker-safe* :class:`ObsConfig`: the
+    trace sink is forced to the in-memory ring (piggybacked on op
+    replies — a ``jsonl``/``null`` sink cannot usefully cross the
+    process boundary, and asking for one earns a one-time rate-limited
+    warning), and flight recording stays coordinator-side.  Returns
+    ``(worker_config, worker_obs_enabled)``.
+    """
+    obs = config.observability
+    if obs is None or not obs.enabled:
+        return replace(config, observability=None), False
+    if obs.trace_sink != SINK_MEMORY:
+        _log.warning(
+            "worker-obs-sink",
+            "observability trace_sink %r cannot cross the process boundary; "
+            "shard workers will buffer spans in an in-memory ring and "
+            "piggyback them on op replies instead",
+            obs.trace_sink,
+        )
+    worker_obs = ObsConfig(
+        enabled=True,
+        sample_rate=obs.sample_rate,
+        trace_sink=SINK_MEMORY,
+        trace_path=None,
+        ring_capacity=obs.ring_capacity,
+        diagnostics=obs.diagnostics,
+    )
+    return replace(config, observability=worker_obs), True
 
 
 def _finalize_supervisor(supervisor) -> None:
@@ -371,6 +459,15 @@ class ProcessExecutor:
     hooks:
         Optional :class:`~repro.shard.supervisor.SupervisorHooks` for
         metric emission on recovery transitions.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder`; the
+        supervisor feeds it op headers, merged worker spans, and
+        failure events, and dumps it on every
+        :class:`~repro.shard.supervisor.ShardWorkerError`.
+    on_obs_delta:
+        Optional ``(shard, delta) -> None`` callback receiving each op
+        reply's worker observability delta exactly once (replayed
+        duplicates are muted during recovery).
     """
 
     mode = "process"
@@ -385,13 +482,16 @@ class ProcessExecutor:
         supervision: Optional[SupervisionConfig] = None,
         chaos: Any = None,
         hooks: Optional[SupervisorHooks] = None,
+        flight: Any = None,
+        on_obs_delta: Optional[Callable[[int, dict], None]] = None,
     ):
         import multiprocessing as mp
 
         self.config = config
         self.plan = plan
+        self.tracer = tracer
         self.vectorized = config.vectorized and _have_numpy()
-        self._worker_config = replace(config, observability=None)
+        self._worker_config, self._worker_obs_on = _worker_obs_config(config)
         try:
             self._ctx = mp.get_context(mp_context)
         except ValueError:  # pragma: no cover - platform fallback
@@ -422,6 +522,8 @@ class ProcessExecutor:
             config=supervision,
             chaos=chaos,
             hooks=hooks,
+            flight=flight,
+            on_obs_delta=on_obs_delta,
         )
         # The finalizer fires on GC and at interpreter exit, so workers
         # are reaped even when __init__ fails mid-spawn below or the
@@ -436,12 +538,23 @@ class ProcessExecutor:
             raise
 
     # -- RPC plumbing ----------------------------------------------------
+    def _wrap(self, request: tuple) -> tuple:
+        """Wrap a request in the coordinator's current trace context.
+
+        Only when worker observability is on (a bare worker ignores no
+        envelope) and only when a span is actually recording — unsampled
+        ticks propagate no context, so workers suppress their subtree.
+        """
+        if not self._worker_obs_on or self.tracer is None:
+            return request
+        return wrap_request(request, current_context(self.tracer))
+
     def _call(self, shard: int, op: str, *args) -> Any:
-        return self.supervisor.request(shard, (op, *args))
+        return self.supervisor.request(shard, self._wrap((op, *args)))
 
     def _broadcast(self, op: str, *args) -> list[Any]:
         """Send to all workers first, then collect — workers overlap."""
-        return self.supervisor.broadcast((op, *args))
+        return self.supervisor.broadcast(self._wrap((op, *args)))
 
     # -- object phases --------------------------------------------------
     def tick(self, sanitized: list) -> TickReport:
@@ -515,6 +628,10 @@ class ProcessExecutor:
     def monitoring_region(self, shard: int, qid: int):
         """Owner-side RPC: the worker's pie/circ view of ``qid``."""
         return self._call(shard, "region", qid)
+
+    def explain(self, shard: int, qid: int):
+        """Owner-side RPC: per-query diagnostics from the worker."""
+        return self._call(shard, "explain", qid)
 
     def shard_results(self, shard: int) -> dict[int, frozenset[int]]:
         """Owner-side RPC: results owned by shard ``shard``."""

@@ -32,6 +32,8 @@ One tick (the scatter/halo/gather dataflow, diagrammed in
 from __future__ import annotations
 
 import time
+import weakref
+from dataclasses import replace as dc_replace
 from typing import Iterable, Optional, Union
 
 from repro.core.config import MonitorConfig
@@ -40,6 +42,9 @@ from repro.core.monitor import Update
 from repro.core.stats import StatCounters
 from repro.geometry.point import Point
 from repro.obs.core import Observability
+from repro.obs.dist import ShardObsMerger
+from repro.obs.explain import QueryDiagnostics
+from repro.obs.flight import FlightRecorder
 from repro.perf import PhaseTimers
 from repro.robustness.guard import IngestionGuard
 from repro.shard.engine import TaggedEvent
@@ -117,9 +122,15 @@ class ShardedCRNNMonitor:
         self.timers = PhaseTimers()
         self.obs = Observability(self.config.observability)
         self.plan = StripePlan(self.config.bounds, self.config.grid_cells, shards)
+        #: Coordinator-side merger of worker metric/span deltas (process
+        #: executor with observability only; see DESIGN §12).
+        self._shard_obs: Optional[ShardObsMerger] = None
+        #: Crash-safe flight recorder (same condition as above).
+        self._flight: Optional[FlightRecorder] = None
         if executor == "serial":
             self.executor: Union[SerialExecutor, ProcessExecutor] = SerialExecutor(
-                self.config, self.plan, self.stats, tracer=self.obs.tracer
+                self.config, self.plan, self.stats,
+                tracer=self.obs.tracer, health=self.obs.health,
             )
         elif executor == "process":
             self.executor = ProcessExecutor(
@@ -127,6 +138,8 @@ class ShardedCRNNMonitor:
                 tracer=self.obs.tracer, mp_context=mp_context,
                 supervision=supervision, chaos=chaos,
                 hooks=self._make_supervisor_hooks(),
+                flight=self._make_flight(),
+                on_obs_delta=self._make_delta_sink(),
             )
         else:
             raise ValueError(f"unknown executor {executor!r}")
@@ -192,6 +205,48 @@ class ShardedCRNNMonitor:
             degraded.labels(str(shard)).set(1.0)
 
         return SupervisorHooks(on_restart=on_restart, on_degrade=on_degrade)
+
+    def _make_flight(self) -> Optional[FlightRecorder]:
+        """Build the coordinator-side flight recorder (obs-on only).
+
+        The recorder lives on the coordinator because a SIGKILLed worker
+        cannot flush anything; op headers are noted at send time and
+        rings are dumped to ``ObsConfig.flight_dir`` on every
+        ``ShardWorkerError`` (``flight_dir=None`` keeps them in memory
+        for :meth:`~repro.obs.flight.FlightRecorder.snapshot`).
+        """
+        if not self.obs.enabled:
+            return None
+        cfg = self.config.observability
+        self._flight = FlightRecorder(
+            self.plan.shards,
+            capacity=cfg.flight_capacity,
+            flight_dir=cfg.flight_dir,
+        )
+        return self._flight
+
+    def _make_delta_sink(self):
+        """Bind worker obs-delta delivery to the coordinator merger.
+
+        The closure holds the :class:`~repro.obs.dist.ShardObsMerger`
+        through a weakref only: the supervisor outlives unreferenced
+        executors via its ``weakref.finalize`` reaper guard, and a
+        strong merger reference would chain back through the registry's
+        collectors to this monitor and pin the executor forever.
+        """
+        if not self.obs.enabled:
+            return None
+        self._shard_obs = ShardObsMerger(
+            self.obs.registry, self.obs.sink, self.plan.shards
+        )
+        merger_ref = weakref.ref(self._shard_obs)
+
+        def on_obs_delta(shard: int, delta: dict) -> None:
+            merger = merger_ref()
+            if merger is not None:
+                merger.merge(shard, delta)
+
+        return on_obs_delta
 
     def _init_metrics(self) -> None:
         registry = self.obs.registry
@@ -449,6 +504,42 @@ class ShardedCRNNMonitor:
     def monitoring_region(self, qid: int):
         """The owner shard's pie- and circ-region view of ``qid``."""
         return self.executor.monitoring_region(self._owner[qid], qid)
+
+    def explain(self, qid: int) -> QueryDiagnostics:
+        """Per-query diagnostics, routed to the shard owning ``qid``.
+
+        Runs :func:`repro.obs.explain.explain_query` against the owner
+        shard's engine (in the worker process under the process
+        executor) and stamps the coordinator-side ``shard`` field onto
+        the returned :class:`~repro.obs.explain.QueryDiagnostics`.
+        Raises ``KeyError`` for unknown query ids, exactly like
+        :meth:`rnn`.
+        """
+        shard = self._owner[qid]
+        diag = self.executor.explain(shard, qid)
+        return dc_replace(diag, shard=shard)
+
+    def verify_worker_metric_parity(self) -> bool:
+        """Assert merged worker metric deltas equal worker ground truth.
+
+        Cross-checks the coordinator-side per-shard counter totals
+        accumulated from piggybacked worker deltas against a fresh
+        ``stats`` gather from every live worker — exact equality, field
+        by field (degraded stripes are skipped: their in-process twin
+        carries no worker obs kit, so their deltas freeze at the moment
+        of degradation).  Only meaningful under the process executor
+        with observability enabled; raises ``RuntimeError`` otherwise
+        and ``AssertionError`` on any mismatch.  Returns ``True``.
+        """
+        if self._shard_obs is None:
+            raise RuntimeError(
+                "worker metric parity requires executor='process' with "
+                "observability enabled"
+            )
+        skip = self.supervision_report()["degraded_shards"]
+        return self._shard_obs.assert_parity(
+            self.executor.shard_stats(), skip=skip
+        )
 
     def object_count(self) -> int:
         """Number of monitored objects."""

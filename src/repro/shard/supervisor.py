@@ -45,6 +45,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.obs.dist import real_op, split_request
 from repro.obs.logutil import RateLimitedLogger
 from repro.shard.engine import ShardEngine, dispatch_op
 from repro.shard.journal import MUTATING_OPS, TickJournal
@@ -173,6 +174,7 @@ class _LocalShard:
 
     def request(self, request: tuple) -> Any:
         """Execute one request synchronously and return its payload."""
+        _ctx, request = split_request(request)  # no worker kit to adopt into
         op = request[0]
         if op in ("checkpoint", "arm", "close", "restore"):
             return None  # lifecycle ops are meaningless in-process
@@ -202,6 +204,16 @@ class ShardSupervisor:
         rehydration replay completes.
     hooks:
         Optional :class:`SupervisorHooks` for metric emission.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder` fed with op
+        headers (at send time, so an op that kills its worker is still
+        on record), merged worker spans, and supervision events; dumped
+        on every :class:`ShardWorkerError`.
+    on_obs_delta:
+        Optional ``(shard, delta) -> None`` sink for worker obs deltas
+        piggybacked on replies.  Exactly-once: deltas re-produced by
+        journal replay are muted, except the failed request's own
+        (whose original reply never arrived).
     """
 
     def __init__(
@@ -212,6 +224,8 @@ class ShardSupervisor:
         config: Optional[SupervisionConfig] = None,
         chaos: Any = None,
         hooks: Optional[SupervisorHooks] = None,
+        flight: Any = None,
+        on_obs_delta: Optional[Callable[[int, dict], None]] = None,
     ):
         self.shards = shards
         self.spawn = spawn
@@ -219,6 +233,10 @@ class ShardSupervisor:
         self.config = config
         self.chaos = chaos
         self.hooks = hooks
+        self.flight = flight
+        self.on_obs_delta = on_obs_delta
+        self._obs_muted = False
+        self._stashed_delta: Optional[dict] = None
         self.enabled = config is not None
         #: Per-shard channel: a live worker or a degraded local engine.
         self.channels: list = [None] * shards
@@ -290,11 +308,15 @@ class ShardSupervisor:
         chan = self.channels[shard]
         if isinstance(chan, _LocalShard):
             return chan.request(request)
-        if self.enabled and request[0] in MUTATING_OPS:
+        op = real_op(request)
+        if self.enabled and op in MUTATING_OPS:
             self.journals[shard].append(request)
+        if self.flight is not None:
+            self.flight.record_op(shard, op)
         try:
             return self._exchange(shard, request)
         except ShardWorkerError as err:
+            self._note_failure(err)
             if err.kind not in RECOVERABLE_KINDS or not self.enabled:
                 raise
             return self._recover(shard, request, err)
@@ -306,7 +328,7 @@ class ShardSupervisor:
         each worker failure is recovered independently, so one crash
         does not cost the others' overlap.
         """
-        op = request[0]
+        op = real_op(request)
         send_errors: dict[int, ShardWorkerError] = {}
         for shard in range(self.shards):
             chan = self.channels[shard]
@@ -314,10 +336,13 @@ class ShardSupervisor:
                 continue
             if self.enabled and op in MUTATING_OPS:
                 self.journals[shard].append(request)
+            if self.flight is not None:
+                self.flight.record_op(shard, op)
             try:
                 chan.conn.send(request)
             except (BrokenPipeError, ConnectionResetError, OSError) as exc:
                 send_errors[shard] = ShardWorkerError(shard, op, "crash", repr(exc))
+                self._note_failure(send_errors[shard])
         replies = []
         for shard in range(self.shards):
             chan = self.channels[shard]
@@ -330,6 +355,7 @@ class ShardSupervisor:
                     replies.append(self._recv(shard, op))
                     continue
                 except ShardWorkerError as exc:
+                    self._note_failure(exc)
                     if exc.kind not in RECOVERABLE_KINDS:
                         raise
                     err = exc
@@ -337,6 +363,15 @@ class ShardSupervisor:
                 raise err
             replies.append(self._recover(shard, request, err))
         return replies
+
+    def _note_failure(self, err: ShardWorkerError) -> None:
+        """Record (and dump) a worker failure on the flight recorder."""
+        if self.flight is None:
+            return
+        self.flight.record_event(
+            err.shard, f"worker_{err.kind}", f"during {err.op!r}: {err.detail}"
+        )
+        self.flight.dump(reason=err.kind, shard=err.shard, error=str(err))
 
     def maybe_checkpoint(self) -> None:
         """Refresh any shard checkpoint whose journal hit the interval.
@@ -363,11 +398,12 @@ class ShardSupervisor:
     # ------------------------------------------------------------------
     def _exchange(self, shard: int, request: tuple) -> Any:
         chan = self.channels[shard]
+        op = real_op(request)
         try:
             chan.conn.send(request)
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
-            raise ShardWorkerError(shard, request[0], "crash", repr(exc)) from exc
-        return self._recv(shard, request[0])
+            raise ShardWorkerError(shard, op, "crash", repr(exc)) from exc
+        return self._recv(shard, op)
 
     def _recv(self, shard: int, op: str) -> Any:
         chan = self.channels[shard]
@@ -389,11 +425,12 @@ class ShardSupervisor:
             ) from exc
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
             raise ShardWorkerError(shard, op, "crash", repr(exc)) from exc
-        if not (isinstance(reply, tuple) and len(reply) == 2):
+        if not (isinstance(reply, tuple) and len(reply) in (2, 3)):
             self._kill_channel(chan)
             raise ShardWorkerError(shard, op, "protocol", f"malformed reply {reply!r}")
-        status, payload = reply
+        status, payload = reply[0], reply[1]
         if status == "ok":
+            self._deliver_delta(shard, reply[2] if len(reply) == 3 else None)
             return payload
         if status == "err":
             raise ShardWorkerError(shard, op, "fault", str(payload))
@@ -401,6 +438,24 @@ class ShardSupervisor:
         raise ShardWorkerError(
             shard, op, "protocol", f"unknown reply status {status!r}"
         )
+
+    def _deliver_delta(self, shard: int, delta: Optional[dict]) -> None:
+        """Hand one reply's obs delta to the coordinator, unless muted.
+
+        During journal replay deltas are stashed instead of delivered
+        (the originals were merged before the crash); :meth:`_rebuild`
+        forwards only the failed request's stash, preserving
+        exactly-once delivery of every op's counters.
+        """
+        if self._obs_muted:
+            self._stashed_delta = delta
+            return
+        if delta is None:
+            return
+        if self.on_obs_delta is not None:
+            self.on_obs_delta(shard, delta)
+        if self.flight is not None and delta.get("spans"):
+            self.flight.record_spans(shard, delta["spans"])
 
     def _kill_channel(self, chan: _WorkerChannel) -> None:
         """SIGKILL and reap one worker (idempotent, never raises)."""
@@ -474,14 +529,27 @@ class ShardSupervisor:
         incarnation = self.incarnations[shard]
         proc, conn = self.spawn(shard, incarnation)
         self.channels[shard] = _WorkerChannel(proc, conn, incarnation)
+        if self.flight is not None:
+            self.flight.record_event(shard, "respawn", f"incarnation {incarnation}")
         self._exchange(shard, ("restore", self.checkpoints[shard]))
         entries = self.journals[shard].entries
         last = entries[-1] if entries else None
-        reply, have_reply = None, False
-        for entry in entries:
-            r = self._exchange(shard, entry)
-            if entry is last and entry is failed_request:
-                reply, have_reply = r, True
+        reply, have_reply, replay_delta = None, False, None
+        # Replay re-produces obs deltas the coordinator already merged
+        # from the original replies — mute them all except the failed
+        # request's own, whose original reply never arrived.
+        self._obs_muted = True
+        try:
+            for entry in entries:
+                self._stashed_delta = None
+                r = self._exchange(shard, entry)
+                if entry is last and entry is failed_request:
+                    reply, have_reply, replay_delta = r, True, self._stashed_delta
+        finally:
+            self._obs_muted = False
+            self._stashed_delta = None
+        if have_reply:
+            self._deliver_delta(shard, replay_delta)
         if self.chaos is not None:
             self._exchange(shard, ("arm",))
         if not have_reply:
@@ -513,6 +581,11 @@ class ShardSupervisor:
         self.channels[shard] = local
         journal.clear()
         self.degraded.add(shard)
+        if self.flight is not None:
+            self.flight.record_event(
+                shard, "degraded", f"after {self.restarts[shard]} restarts"
+            )
+            self.flight.dump(reason="degraded", shard=shard, error=str(err))
         if self.hooks is not None and self.hooks.on_degrade is not None:
             self.hooks.on_degrade(shard)
         self._log.error(

@@ -202,3 +202,57 @@ class TestHTTPEndpoint:
             with pytest.raises(urllib.error.HTTPError) as exc:
                 urllib.request.urlopen(f"{server.url}/nope", timeout=10)
             assert exc.value.code == 404
+
+
+class TestExpositionHardening:
+    """Hostile label values and malformed text the strict parser must
+    handle (render → parse must round-trip byte-losslessly)."""
+
+    @pytest.mark.parametrize("hostile", [
+        'back\\slash', 'quo"te', 'new\nline', 'clo}se', 'com,ma',
+        'a"b\\c\nd}e,f', '', '{"json": "blob"}',
+    ])
+    def test_hostile_label_values_roundtrip(self, hostile):
+        reg = MetricsRegistry()
+        reg.counter("hostile_total", labelnames=("p",)).labels(hostile).inc(3)
+        text = render_prometheus(reg)
+        families = parse_prometheus_text(text)
+        assert list(families["hostile_total"]["samples"].values()) == [3]
+        # Rendering the parse-keyed series again must reproduce the line.
+        (series_key,) = families["hostile_total"]["samples"]
+        assert f"{series_key} 3" in text
+
+    def test_parser_rejects_duplicate_label_keys(self):
+        with pytest.raises(PrometheusParseError, match="duplicate label key"):
+            parse_prometheus_text('# TYPE x counter\nx{a="1",a="2"} 1\n')
+
+    def test_parser_rejects_malformed_label_blocks(self):
+        for bad in (
+            'x{a="1" b="2"} 1',      # missing comma
+            'x{a=1} 1',              # unquoted value
+            'x{a="1"', 'x{a="1"} ',  # truncated
+            'x{a="unclosed} 1',      # quote never closes
+            'x{1a="v"} 1',           # illegal label name
+        ):
+            with pytest.raises(PrometheusParseError):
+                parse_prometheus_text(f"# TYPE x counter\n{bad}\n")
+
+    def test_collected_family_rejects_duplicate_series(self):
+        from repro.obs.metrics import CollectedFamily
+
+        with pytest.raises(ValueError, match="duplicate series"):
+            CollectedFamily("dup_total", "counter", "h",
+                            [({"a": "1"}, 1.0), ({"a": "1"}, 2.0)])
+
+    def test_collected_family_rejects_invalid_label_names(self):
+        from repro.obs.metrics import CollectedFamily
+
+        with pytest.raises(ValueError, match="invalid label name"):
+            CollectedFamily("bad_total", "counter", "h", [({"0day": "v"}, 1.0)])
+
+    def test_collected_family_escaped_values_distinct_series(self):
+        from repro.obs.metrics import CollectedFamily
+
+        # Values that collide only if escaping is done wrong.
+        CollectedFamily("esc_total", "counter", "h",
+                        [({"p": 'a"b'}, 1.0), ({"p": "a\\\"b"}, 2.0)])

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Pretty-print a CRNN flight-recorder dump as a post-mortem timeline.
+
+Usage::
+
+    PYTHONPATH=src python tools/flightdump.py <dump.json> [more.json ...]
+    PYTHONPATH=src python tools/flightdump.py --dir <flight_dir>   # newest first
+
+Dumps are written by the sharded monitor's coordinator-side
+:class:`repro.obs.flight.FlightRecorder` on every
+``ShardWorkerError`` (chaos kills included) when
+``ObsConfig(flight_dir=...)`` is set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", help="dump files to render")
+    parser.add_argument(
+        "--dir", default=None,
+        help="render every flight-*.json in this directory, newest first",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro.obs.flight import load_dump, render_timeline
+
+    paths = list(args.paths)
+    if args.dir is not None:
+        paths.extend(
+            sorted(glob.glob(os.path.join(args.dir, "flight-*.json")), reverse=True)
+        )
+    if not paths:
+        parser.error("no dump files given (pass paths or --dir)")
+    for i, path in enumerate(paths):
+        if i:
+            print()
+        print(f"== {path}")
+        try:
+            print(render_timeline(load_dump(path)))
+        except (OSError, ValueError) as exc:
+            print(f"  unreadable: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
