@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check smoke obs-smoke obs-dist-smoke chaos-smoke chaos-heavy serve-smoke serve-soak bench bench-recovery bench-serve bench-obs bench-check bench-paper docs docs-lint experiments experiments-quick examples clean
+.PHONY: install test check smoke obs-smoke obs-dist-smoke chaos-smoke chaos-heavy rebalance-smoke rebalance-heavy serve-smoke serve-soak bench bench-recovery bench-serve bench-obs bench-rebalance bench-report bench-check bench-paper docs docs-lint experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -44,6 +44,17 @@ chaos-smoke:
 chaos-heavy:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_shard_chaos.py -m chaos
 
+# The kill loop with a live plan migration forced every 5th tick:
+# proves the PR-9 migration protocol holds event/counter parity with
+# worker SIGKILLs interleaved (what the CI chaos job runs).
+rebalance-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.shard.chaos --seconds 60 --rebalance-every 5
+
+# The 200-tick rebalance acceptance matrix (K x executor, plus chaos
+# kills), excluded from the default pytest run by the `chaos` marker.
+rebalance-heavy:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_shard_rebalance.py -m chaos
+
 # Scalar-vs-vectorized perf suite plus the shard K-sweep; regenerates
 # both checked-in baselines.
 bench:
@@ -76,6 +87,18 @@ bench-serve:
 bench-obs:
 	PYTHONPATH=src $(PYTHON) -m repro.shard.bench --pr8 --out BENCH_pr8.json
 
+# Adaptive-rebalancing suite: static vs adaptive plan under a skewed
+# hotspot (K in {2,4}) plus the protocol-overhead arm on uniform load;
+# regenerates BENCH_pr9.json. Acceptance: <= 5% uniform overhead;
+# >= 1.3x skew speedup asserted on >= 4-core hosts.
+bench-rebalance:
+	PYTHONPATH=src $(PYTHON) -m repro.shard.bench --pr9 --out BENCH_pr9.json
+
+# Render every checked-in BENCH_pr*.json into the one perf-trajectory
+# table the tuning guide links.
+bench-report:
+	$(PYTHON) tools/bench_trajectory.py --out docs/BENCH_TRAJECTORY.md
+
 # Regression gate against the checked-in BENCH_pr2.json (what CI runs).
 bench-check:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q benchmarks/test_perf_regression.py
@@ -89,8 +112,11 @@ bench-paper:
 docs: docs-lint
 	PYTHONPATH=src $(PYTHON) tools/gen_api_docs.py --out docs/api
 
+# Docs gates (also the CI docs job): the docstring-coverage floor and
+# every intra-repo Markdown link resolving.
 docs-lint:
 	$(PYTHON) tools/docstring_coverage.py --fail-under 85 src/repro
+	$(PYTHON) tools/check_links.py
 
 experiments:
 	$(PYTHON) -m repro.bench.run_all --json results_full.json --markdown results_full.md

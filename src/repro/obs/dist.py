@@ -43,8 +43,11 @@ __all__ = [
     "current_context",
     "span_in_context",
     "CTX_OP",
+    "PV_OP",
     "wrap_request",
     "split_request",
+    "wrap_version",
+    "split_version",
     "real_op",
     "WORKER_SPAN_STRIDE",
     "WorkerObs",
@@ -61,6 +64,15 @@ WORKER_SPAN_STRIDE = 1 << 40
 #: Sentinel first element of a context-wrapped executor request:
 #: ``(CTX_OP, (trace_id, parent_id), op, *args)``.
 CTX_OP = "ctx"
+
+#: Sentinel first element of a plan-version-stamped executor request:
+#: ``(PV_OP, version, ...)``.  The outermost envelope — it wraps the
+#: trace-context envelope, not the other way round — stamped by the
+#: process executor so a worker still holding a superseded
+#: :class:`~repro.shard.plan.StripePlan` detects the mismatch and
+#: replies ``("stale", info)`` instead of computing against the wrong
+#: stripe map (PR 9 live rebalancing).
+PV_OP = "pv"
 
 
 @dataclass(frozen=True)
@@ -146,8 +158,24 @@ def split_request(request: tuple) -> tuple[Optional[TraceContext], tuple]:
     return None, request
 
 
+def wrap_version(request: tuple, version: Optional[int]) -> tuple:
+    """Prefix ``request`` with a plan-version stamp (identity if ``None``)."""
+    if version is None:
+        return request
+    return (PV_OP, version) + request
+
+
+def split_version(request: tuple) -> tuple[Optional[int], tuple]:
+    """Undo :func:`wrap_version`: ``(version_or_None, bare_request)``."""
+    if request and request[0] == PV_OP:
+        return request[1], request[2:]
+    return None, request
+
+
 def real_op(request: tuple) -> str:
-    """The operation name of a possibly context-wrapped request."""
+    """The operation name of a request, however many envelopes wrap it."""
+    if request and request[0] == PV_OP:
+        request = request[2:]
     return request[2] if request and request[0] == CTX_OP else request[0]
 
 

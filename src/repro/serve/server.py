@@ -119,6 +119,17 @@ class ServeConfig:
     executor: str = "serial"
     #: Monitor configuration; defaults to ``MonitorConfig.lu_pi()``.
     monitor: Optional[MonitorConfig] = None
+    #: Enable adaptive shard rebalancing on the sharded backend.  Plan
+    #: changes run between ticks inside the monitor, so subscribers
+    #: never observe a gap or a reconnect across a migration.
+    rebalance: bool = False
+    #: Sustained per-shard load ratio (max/mean tick wall-time) above
+    #: which a re-split is proposed.
+    rebalance_threshold: float = 1.5
+    #: Consecutive over-threshold ticks required before acting.
+    rebalance_patience: int = 5
+    #: Minimum ticks between two committed plan changes.
+    rebalance_cooldown: int = 50
     #: Auto-tick period in seconds; ``None`` processes only on explicit
     #: ``tick`` frames (the deterministic mode the parity suite uses).
     tick_interval: Optional[float] = None
@@ -159,6 +170,12 @@ class ServeConfig:
             raise ValueError("subscriber_buffer must be >= 1")
         if self.tick_interval is not None and self.tick_interval <= 0:
             raise ValueError("tick_interval must be positive")
+        if self.rebalance and self.backend != BACKEND_SHARDED:
+            raise ValueError("rebalance requires the sharded backend")
+        if self.rebalance_threshold <= 1.0:
+            raise ValueError("rebalance_threshold must be > 1.0")
+        if self.rebalance_patience < 1 or self.rebalance_cooldown < 0:
+            raise ValueError("rebalance_patience >= 1 and rebalance_cooldown >= 0")
 
     @property
     def effective_fanout_policy(self) -> str:
@@ -211,9 +228,20 @@ class CRNNServer:
         mc = self.config.monitor if self.config.monitor is not None else MonitorConfig.lu_pi()
         if self.config.backend == BACKEND_SHARDED:
             from repro.shard.monitor import ShardedCRNNMonitor
+            from repro.shard.rebalance import RebalanceConfig
 
+            rebalance = None
+            if self.config.rebalance:
+                rebalance = RebalanceConfig(
+                    imbalance_threshold=self.config.rebalance_threshold,
+                    patience_ticks=self.config.rebalance_patience,
+                    cooldown_ticks=self.config.rebalance_cooldown,
+                )
             self.monitor: Union[CRNNMonitor, "ShardedCRNNMonitor"] = ShardedCRNNMonitor(
-                mc, shards=self.config.shards, executor=self.config.executor
+                mc,
+                shards=self.config.shards,
+                executor=self.config.executor,
+                rebalance=rebalance,
             )
         else:
             self.monitor = CRNNMonitor(mc)
@@ -1021,6 +1049,12 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--overload", choices=POLICIES, default=POLICY_BLOCK)
     parser.add_argument("--checkpoint", default=None,
                         help="write a verified checkpoint here on shutdown")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="adaptive shard rebalancing (sharded backend only)")
+    parser.add_argument("--rebalance-threshold", type=float, default=1.5,
+                        help="max/mean shard-load ratio that triggers a re-split")
+    parser.add_argument("--rebalance-cooldown", type=int, default=50,
+                        help="minimum ticks between committed plan changes")
     args = parser.parse_args(argv)
 
     config = ServeConfig(
@@ -1033,6 +1067,9 @@ def main(argv: Optional[list] = None) -> int:
         max_pending=args.max_pending,
         overload=args.overload,
         checkpoint_path=args.checkpoint,
+        rebalance=args.rebalance,
+        rebalance_threshold=args.rebalance_threshold,
+        rebalance_cooldown=args.rebalance_cooldown,
     )
     thread = ServerThread(config)
     host, port = thread.start()

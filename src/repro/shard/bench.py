@@ -28,12 +28,23 @@ off vs the full DESIGN §12 stack on (worker registries and span rings,
 per-reply metric deltas, coordinator merging, tracing, in-memory
 flight recorder).  Acceptance target: <= 5% update-phase overhead.
 
+``--pr9`` runs the *adaptive-rebalancing* suite (``BENCH_pr9.json``):
+a skewed Gaussian-cluster stream where an even column split strands
+nearly all the work on one stripe, static vs adaptive plans at
+K ∈ {2, 4} on the process executor (target: >= 1.3x tick throughput
+from rebalancing on hosts with >= 4 cores; the skew arm asserts at
+least one committed plan change and logical-counter parity with the
+single-monitor baseline either way), plus a uniform arm measuring the
+rebalancing machinery's protocol overhead when the load is already
+balanced (target: <= 5%).
+
 Usage::
 
     PYTHONPATH=src python -m repro.shard.bench --out BENCH_pr4.json
     PYTHONPATH=src python -m repro.shard.bench --quick   # smoke scale
     PYTHONPATH=src python -m repro.shard.bench --pr6     # BENCH_pr6.json
     PYTHONPATH=src python -m repro.shard.bench --pr8     # BENCH_pr8.json
+    PYTHONPATH=src python -m repro.shard.bench --pr9     # BENCH_pr9.json
 """
 
 from __future__ import annotations
@@ -45,6 +56,8 @@ import sys
 import time
 
 from repro.core.config import MonitorConfig
+from repro.core.events import ObjectUpdate, QueryUpdate
+from repro.geometry.point import Point
 from repro.perf.bench import (
     LOGICAL_COUNTERS,
     SMOKE,
@@ -63,6 +76,52 @@ SWEEP_SHARDS = (1, 2, 4, 8)
 SHARD_UPDATE_PHASES = ("shard_tick", "merge")
 
 
+class SkewedWorkload(Workload):
+    """Gaussian-cluster variant of the bench stream.
+
+    Objects and queries concentrate in one blob near the left edge of
+    the space, so an even column split strands nearly all pie/circ work
+    on stripe 0 while the remaining shards only replay the shared
+    object plane.  The adaptive rebalancer's weighted re-split is the
+    intended fix; the static plan is the control arm.
+    """
+
+    #: Cluster centre and spread (the space is 10,000 x 10,000).
+    CENTER = (1_500.0, 5_000.0)
+    SIGMA = 700.0
+
+    def _cluster_point(self, rng: random.Random) -> Point:
+        x = min(max(rng.gauss(self.CENTER[0], self.SIGMA), 0.0), 10_000.0)
+        y = min(max(rng.gauss(self.CENTER[1], self.SIGMA), 0.0), 10_000.0)
+        return Point(x, y)
+
+    def initial_batch(self, rng: random.Random) -> list:
+        """Objects and queries all drawn from the Gaussian hotspot."""
+        batch = [
+            ObjectUpdate(oid, self._cluster_point(rng)) for oid in range(self.n)
+        ]
+        batch.extend(
+            QueryUpdate(1_000_000 + qid, self._cluster_point(rng))
+            for qid in range(self.queries)
+        )
+        return batch
+
+    def tick_batch(self, rng: random.Random) -> list:
+        """A random walk inside the blob (1% relocations within it)."""
+        batch = []
+        for _ in range(self.moves_per_tick):
+            oid = rng.randrange(self.n)
+            if rng.random() < 0.01:  # occasional relocation inside the blob
+                p = self._cluster_point(rng)
+            else:
+                x = min(max(self._pos[oid][0] + rng.uniform(-150.0, 150.0), 0.0), 10_000.0)
+                y = min(max(self._pos[oid][1] + rng.uniform(-150.0, 150.0), 0.0), 10_000.0)
+                p = Point(x, y)
+            self._pos[oid] = p
+            batch.append(ObjectUpdate(oid, p))
+        return batch
+
+
 def run_sharded(
     workload: Workload,
     shards: int,
@@ -70,6 +129,7 @@ def run_sharded(
     vectorized: bool = True,
     supervision=None,
     observability=None,
+    rebalance=None,
 ) -> dict:
     """One sharded pass over ``workload``'s deterministic stream.
 
@@ -80,7 +140,9 @@ def run_sharded(
     fault-tolerance layer for the process executor; ``observability``
     (an :class:`~repro.obs.config.ObsConfig`) turns on coordinator and
     worker observability, including the delta piggybacking on op
-    replies.
+    replies; ``rebalance`` (a
+    :class:`~repro.shard.rebalance.RebalanceConfig`) turns on adaptive
+    plan changes driven by per-shard tick wall-time.
     """
     rng = random.Random(workload.seed)
     config = MonitorConfig(
@@ -90,7 +152,11 @@ def run_sharded(
         observability=observability,
     )
     monitor = ShardedCRNNMonitor(
-        config, shards=shards, executor=executor, supervision=supervision
+        config,
+        shards=shards,
+        executor=executor,
+        supervision=supervision,
+        rebalance=rebalance,
     )
     try:
         first = workload.initial_batch(rng)
@@ -113,6 +179,10 @@ def run_sharded(
             phases_ms.get(p, 0.0) for p in SHARD_UPDATE_PHASES
         ) / 1e3
         counters = monitor.aggregated_stats().snapshot()
+        rebalance_outcomes = (
+            dict(monitor.rebalance_outcomes) if rebalance is not None else None
+        )
+        plan_version = monitor.plan.version
     finally:
         monitor.close()
         del workload._pos
@@ -120,6 +190,8 @@ def run_sharded(
         "shards": shards,
         "executor": executor,
         "vectorized": vectorized,
+        "rebalance_outcomes": rebalance_outcomes,
+        "plan_version": plan_version,
         "build_seconds": round(build_seconds, 4),
         "wall_seconds": round(wall_seconds, 4),
         "update_seconds": round(update_seconds, 4),
@@ -399,13 +471,168 @@ def run_obs_overhead(quick: bool = False, repeats: int = 5) -> dict:
     }
 
 
+def run_rebalance_suite(quick: bool = False, repeats: int = 3) -> dict:
+    """Adaptive-rebalancing suite (``BENCH_pr9.json``).
+
+    **Skew arm** — a :class:`SkewedWorkload` stream through the process
+    executor at K in {2, 4}, static plan vs adaptive
+    (:class:`~repro.shard.rebalance.RebalanceConfig` tuned to act
+    within the run's warmup).  Both arms' logical counters are asserted
+    identical to the single-monitor baseline on the same stream — a
+    plan change must be logically invisible — and the adaptive arm must
+    commit at least one plan change (the skew is structural, so the
+    trigger must fire on any host).  The >= 1.3x tick-throughput target
+    applies on hosts with ``cpu_count >= 4``; on smaller hosts the
+    speedup is recorded but not asserted (one core cannot show parallel
+    gain regardless of how well the plan fits the load).
+
+    **Uniform arm** — the stock uniform stream at K=2 with the
+    rebalancing machinery enabled (plan-version stamps on every op,
+    per-shard timing, load tracking) vs disabled, interleaved
+    best-of-``repeats`` per :func:`run_recovery_overhead`'s protocol.
+    A balanced load should never trigger, so this isolates the pure
+    protocol overhead; target <= 5%.
+    """
+    from repro.shard.rebalance import RebalanceConfig
+
+    host = host_fingerprint()
+    many_cores = host.get("cpu_count") or 0
+    skew = SkewedWorkload(
+        "skew-gauss-n2k" if quick else "skew-gauss-n5k",
+        n=2_000 if quick else 5_000,
+        queries=30 if quick else 60,
+        ticks=12 if quick else 32,
+        moves_per_tick=500 if quick else 1_500,
+        grid_cells=64,
+    )
+    adaptive_cfg = RebalanceConfig(
+        imbalance_threshold=1.3,
+        patience_ticks=2,
+        warmup_ticks=2,
+        cooldown_ticks=5,
+    )
+    baseline = skew.run(vectorized=True)
+    base_logical = logical_subset(baseline["counters"])
+    skew_rows = []
+    for shards in (2, 4):
+        arms = {"static": None, "adaptive": None}
+        for _ in range(repeats):
+            for label, cfg in (("static", None), ("adaptive", adaptive_cfg)):
+                row = run_sharded(skew, shards, "process", rebalance=cfg)
+                best = arms[label]
+                if best is None or row["update_seconds"] < best["update_seconds"]:
+                    arms[label] = row
+        static, adaptive = arms["static"], arms["adaptive"]
+        for label, row in arms.items():
+            assert logical_subset(row["counters"]) == base_logical, (
+                f"{skew.name} K={shards} {label}: logical counters diverged "
+                f"from the single-monitor baseline"
+            )
+            row["logical_counters_match"] = True
+        committed = adaptive["rebalance_outcomes"]["committed"]
+        assert committed >= 1, (
+            f"{skew.name} K={shards}: the structural skew never triggered a "
+            f"plan change ({adaptive['rebalance_outcomes']})"
+        )
+        speedup = (
+            round(static["update_seconds"] / adaptive["update_seconds"], 2)
+            if adaptive["update_seconds"]
+            else None
+        )
+        if many_cores >= 4 and speedup is not None:
+            assert speedup >= 1.3, (
+                f"{skew.name} K={shards}: adaptive rebalancing gained only "
+                f"{speedup}x on a {many_cores}-core host (target 1.3x)"
+            )
+        print(
+            f"[shard-bench] {skew.name} K={shards} process: adaptive "
+            f"{speedup}x vs static ({committed} plan changes, "
+            f"final v{adaptive['plan_version']})",
+            file=sys.stderr,
+        )
+        skew_rows.append({
+            "name": skew.name,
+            "n": skew.n,
+            "queries": skew.queries,
+            "ticks": skew.ticks,
+            "seed": skew.seed,
+            "shards": shards,
+            "static": static,
+            "adaptive": adaptive,
+            "speedup_adaptive_vs_static": speedup,
+            "speedup_asserted": many_cores >= 4,
+        })
+    uniform = Workload(
+        "uniform-overhead-n2k",
+        n=2_000,
+        queries=20,
+        ticks=8 if quick else 24,
+        moves_per_tick=500,
+        grid_cells=64,
+    )
+    arms = {"rebalance_off": None, "rebalance_on": None}
+    for _ in range(repeats if quick else max(repeats, 5)):
+        for label, cfg in (
+            ("rebalance_off", None),
+            ("rebalance_on", RebalanceConfig()),
+        ):
+            row = run_sharded(uniform, 2, "process", rebalance=cfg)
+            best = arms[label]
+            if best is None or row["update_seconds"] < best["update_seconds"]:
+                arms[label] = row
+    off, on = arms["rebalance_off"], arms["rebalance_on"]
+    assert logical_subset(off["counters"]) == logical_subset(on["counters"]), (
+        f"{uniform.name}: the rebalancing machinery changed the logical counters"
+    )
+    overhead_pct = (
+        round(
+            (on["update_seconds"] - off["update_seconds"])
+            / off["update_seconds"] * 100.0,
+            2,
+        )
+        if off["update_seconds"]
+        else None
+    )
+    print(
+        f"[shard-bench] {uniform.name} K=2 process: rebalance protocol "
+        f"overhead {overhead_pct}% ({off['update_seconds']}s -> "
+        f"{on['update_seconds']}s)",
+        file=sys.stderr,
+    )
+    return {
+        "schema": "repro-shard-rebalance-bench",
+        "version": 1,
+        "host": host,
+        "acceptance_note": (
+            "skew arm: adaptive rebalancing must reach >= 1.3x tick "
+            "throughput over the static even split at K in {2, 4} on hosts "
+            "with cpu_count >= 4, with at least one committed plan change "
+            "and logical counters identical to the single-monitor baseline "
+            "in both arms; uniform arm: the enabled machinery (plan-version "
+            "stamps, per-shard timing, load tracking) must cost <= 5% "
+            "update-phase wall clock when the load never triggers"
+        ),
+        "logical_counter_names": list(LOGICAL_COUNTERS),
+        "skew": skew_rows,
+        "uniform_overhead": {
+            "name": uniform.name,
+            "n": uniform.n,
+            "ticks": uniform.ticks,
+            "seed": uniform.seed,
+            "rebalance_off": off,
+            "rebalance_on": on,
+            "overhead_pct": overhead_pct,
+            "within_target": overhead_pct is not None and overhead_pct <= 5.0,
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (``python -m repro.shard.bench``)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=None,
-                        help="output JSON path (default: BENCH_pr4.json, "
-                             "BENCH_pr6.json with --pr6, or BENCH_pr8.json "
-                             "with --pr8)")
+                        help="output JSON path (default: BENCH_pr4.json, or "
+                             "BENCH_prN.json with --pr6/--pr8/--pr9)")
     parser.add_argument("--quick", action="store_true",
                         help="run only the tiny smoke workload")
     parser.add_argument("--pr6", action="store_true",
@@ -414,6 +641,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--pr8", action="store_true",
                         help="run the distributed-observability overhead "
                              "suite instead of the K sweep")
+    parser.add_argument("--pr9", action="store_true",
+                        help="run the adaptive-rebalancing suite instead "
+                             "of the K sweep")
     args = parser.parse_args(argv)
     if args.pr6:
         result = run_recovery_overhead(quick=args.quick)
@@ -421,6 +651,9 @@ def main(argv: list[str] | None = None) -> int:
     elif args.pr8:
         result = run_obs_overhead(quick=args.quick)
         out = args.out or "BENCH_pr8.json"
+    elif args.pr9:
+        result = run_rebalance_suite(quick=args.quick)
+        out = args.out or "BENCH_pr9.json"
     else:
         result = run_suite(quick=args.quick)
         out = args.out or "BENCH_pr4.json"

@@ -399,11 +399,17 @@ def dispatch_op(engine: ShardEngine, op: str, args: tuple) -> object:
     """
     if op == "tick":
         # Worker 0 additionally reports halo traffic for every shard
-        # (it sees the same full move list as everyone).
+        # (it sees the same full move list as everyone).  The wall-time
+        # of the shard's compute rides back as the 5th element — the
+        # live load signal the PR 9 rebalancer consumes.
+        from time import perf_counter
+
+        t0 = perf_counter()
         n_moves, n_circ, halo = engine.tick_object_phases(
             args[0], want_halo=(engine.shard == 0)
         )
-        return (engine.drain_tagged(), n_moves, n_circ, halo)
+        elapsed = perf_counter() - t0
+        return (engine.drain_tagged(), n_moves, n_circ, halo, elapsed)
     if op == "scalar":
         applied = engine.apply_scalar(args[0], args[1], args[2])
         return (applied, engine.drain_tagged())

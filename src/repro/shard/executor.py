@@ -39,7 +39,14 @@ from repro.core.update_pie import build_affected_map, build_affected_map_vector
 from repro.geometry.point import Point
 from repro.grid.index import GridIndex
 from repro.obs.config import SINK_MEMORY, ObsConfig
-from repro.obs.dist import WorkerObs, current_context, split_request, wrap_request
+from repro.obs.dist import (
+    WorkerObs,
+    current_context,
+    split_request,
+    split_version,
+    wrap_request,
+    wrap_version,
+)
 from repro.obs.explain import explain_query
 from repro.obs.logutil import RateLimitedLogger
 from repro.shard.engine import ShardEngine, TaggedEvent, dispatch_op
@@ -58,7 +65,17 @@ __all__ = [
     "ProcessExecutor",
     "TickReport",
     "ShardWorkerError",
+    "RebalanceAborted",
 ]
+
+
+class RebalanceAborted(RuntimeError):
+    """A live migration failed mid-apply and was rolled back bit-exactly.
+
+    The monitor state (worker engines, recovery checkpoints, journals)
+    is back to the instant before the migration started, under the old
+    plan; the caller may keep ticking and retry after the cooldown.
+    """
 
 
 @dataclass
@@ -74,6 +91,9 @@ class TickReport:
     n_circ_moves: int = 0
     #: shard -> boundary-crossing moves entering its halo this tick.
     halo: dict[int, int] = field(default_factory=dict)
+    #: Per-shard compute wall-time of this tick (seconds, shard order) —
+    #: the live load signal the PR 9 rebalancer consumes.
+    shard_seconds: list[float] = field(default_factory=list)
 
 
 class _MapShim:
@@ -87,6 +107,50 @@ class _MapShim:
     def __init__(self, grid: GridIndex, stats: StatCounters):
         self.grid = grid
         self.stats = stats
+
+
+def _transfer_query(src: ShardEngine, dst: ShardEngine, qid: int) -> None:
+    """Move one query's exact monitoring state between shared-grid engines.
+
+    The serial-executor half of live rebalancing: the query's table
+    state, per-sector circ records (with their hysteretic lazy radii and
+    certificates), result set, and RNN multiplicity counts are *moved*,
+    never recomputed — no NN search runs and no event is emitted, so the
+    migration is invisible to logical counters and the event stream.
+    Pie-cell registrations live in the shared grid keyed by qid and need
+    no touch-up.  The FUR-tree and NN-hash memberships are unlinked on
+    the source and relinked on the destination through the stores' own
+    ``_refresh_candidate`` maintenance, keeping both trees' aggregated
+    radii exact.
+    """
+    state = src.inner.qt._states.pop(qid)
+    dst.inner.qt._states[qid] = state
+    s_circ, d_circ = src.inner.circ, dst.inner.circ
+    for rec in sorted(s_circ.records_of_query(qid), key=lambda r: r.sector):
+        key = (qid, rec.sector)
+        del s_circ._records[key]
+        if rec.nn is not None:
+            members = s_circ.nn_hash.get(rec.nn)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    del s_circ.nn_hash[rec.nn]
+        cand_keys = s_circ.by_cand.get(rec.cand)
+        if cand_keys is not None:
+            cand_keys.discard(key)
+            if not cand_keys:
+                del s_circ.by_cand[rec.cand]
+        s_circ._refresh_candidate(rec.cand, None)
+        d_circ._records[key] = rec
+        d_circ.by_cand.setdefault(rec.cand, set()).add(key)
+        if rec.nn is not None:
+            d_circ.nn_hash.setdefault(rec.nn, set()).add(key)
+        d_circ._refresh_candidate(rec.cand, None)
+    if qid in src.inner._results:
+        dst.inner._results[qid] = src.inner._results.pop(qid)
+    counts = src.inner._rnn_counts.pop(qid, None)
+    if counts is not None:
+        dst.inner._rnn_counts[qid] = counts
 
 
 class SerialExecutor:
@@ -134,7 +198,10 @@ class SerialExecutor:
     # -- object phases --------------------------------------------------
     def tick(self, sanitized: list) -> TickReport:
         """Grid + pies + circs for one sanitized batch."""
+        from time import perf_counter
+
         report = TickReport()
+        report.shard_seconds = [0.0] * len(self.engines)
         moves: list[tuple[int, Optional[Point], Optional[Point]]] = []
         query_updates: list = []
         apply_grid_updates(self.grid, sanitized, self.vectorized, moves, query_updates)
@@ -144,10 +211,14 @@ class SerialExecutor:
                 affected = build_affected_map_vector(self._shim, moves)
             else:
                 affected = build_affected_map(self._shim, moves)
-            for engine in self.engines:
+            for k, engine in enumerate(self.engines):
+                t0 = perf_counter()
                 engine.resolve_pies(affected)
-            for engine in self.engines:
+                report.shard_seconds[k] += perf_counter() - t0
+            for k, engine in enumerate(self.engines):
+                t0 = perf_counter()
                 engine.run_circs(moves)
+                report.shard_seconds[k] += perf_counter() - t0
             report.n_circ_moves = sum(
                 1 for _oid, _old, new in moves if new is not None
             )
@@ -179,6 +250,37 @@ class SerialExecutor:
         for engine in self.engines:
             tagged.extend(engine.drain_tagged())
         return True, tagged
+
+    # -- live rebalancing -------------------------------------------------
+    def rebalance(self, new_plan: StripePlan) -> dict[int, int]:
+        """Adopt ``new_plan`` by moving query state between engines.
+
+        Serial engines share one grid, so migration is a direct in-memory
+        transfer (:func:`_transfer_query`) of every query whose stripe
+        changed — no checkpoint round-trip, no events, no logical-counter
+        movement.  Must be called at a tick boundary (between public
+        operations).  Returns the complete ``qid -> owner shard`` map
+        under the new plan.
+        """
+        if new_plan.shards != len(self.engines):
+            raise ValueError(
+                f"rebalance cannot change the shard count "
+                f"({len(self.engines)} -> {new_plan.shards})"
+            )
+        owners: dict[int, int] = {}
+        moved: list[tuple[int, int, int]] = []
+        for k, engine in enumerate(self.engines):
+            for st in engine.inner.qt:
+                dest = new_plan.owner_of(st.pos)
+                owners[st.qid] = dest
+                if dest != k:
+                    moved.append((st.qid, k, dest))
+        for qid, src, dst in sorted(moved):
+            _transfer_query(self.engines[src], self.engines[dst], qid)
+        self.plan = new_plan
+        for engine in self.engines:
+            engine.plan = new_plan
+        return owners
 
     # -- query ops (owner-side) ------------------------------------------
     def add_query(
@@ -294,11 +396,10 @@ def _worker_main(
     """
     import time as _time
 
-    from repro.geometry.rect import Rect
     from repro.shard.chaos import ChaosAgent
     from repro.shard.journal import engine_snapshot, rehydrate_engine
 
-    plan = StripePlan(Rect(*plan_args[0]), plan_args[1], plan_args[2])
+    plan = StripePlan.from_args(plan_args)
     engine = ShardEngine(config, plan, shard, grid=None)
     obs_cfg = config.observability
     wobs = None
@@ -315,8 +416,16 @@ def _worker_main(
             request = conn.recv()
         except (EOFError, OSError):
             break
+        want_version, request = split_version(request)
         ctx, request = split_request(request)
         op, args = request[0], request[1:]
+        if want_version is not None and want_version != plan.version:
+            # The coordinator moved to a newer plan this worker never
+            # adopted (e.g. a lost rebalance op): computing against the
+            # wrong stripe map would silently corrupt parity, so refuse
+            # and let the supervisor respawn us under the current plan.
+            conn.send(("stale", {"have": plan.version, "want": want_version}))
+            continue
         action = agent.plan(op) if agent is not None else None
         if action is not None:
             if action.delay:
@@ -342,6 +451,19 @@ def _worker_main(
                 payload = None
             elif op == "checkpoint":
                 payload = engine_snapshot(engine)
+            elif op == "rebalance":
+                # Live migration: adopt a new stripe plan and rebuild the
+                # engine from the coordinator's spliced exact snapshot.
+                # Flush any counter drift first — wire() below re-baselines
+                # the worker-obs kit on the restored values, so an unflushed
+                # delta would be lost to the coordinator's merge.
+                if wobs is not None:
+                    delta = wobs.delta(engine.inner.stats)
+                plan = StripePlan.from_args(args[0])
+                engine = rehydrate_engine(config, plan, shard, args[1])
+                if wobs is not None:
+                    wobs.wire(engine)
+                payload = None
             elif wobs is not None:
                 with wobs.op_span(ctx, op):
                     payload = dispatch_op(engine, op, args)
@@ -488,7 +610,6 @@ class ProcessExecutor:
         import multiprocessing as mp
 
         self.config = config
-        self.plan = plan
         self.tracer = tracer
         self.vectorized = config.vectorized and _have_numpy()
         self._worker_config, self._worker_obs_on = _worker_obs_config(config)
@@ -496,24 +617,29 @@ class ProcessExecutor:
             self._ctx = mp.get_context(mp_context)
         except ValueError:  # pragma: no cover - platform fallback
             self._ctx = mp.get_context("spawn")
-        self._plan_args = (tuple(plan.bounds), plan.n, plan.shards)
+        # The live plan rides in a mutable box: rebalancing swaps the
+        # box contents so respawns (whose closures below must never
+        # capture ``self`` — see the GC note) come up under the current
+        # plan without re-wiring the supervisor.
+        self._plan_box = {"plan": plan, "plan_args": plan.to_args()}
         self._chaos = chaos
         # The supervisor's callbacks close over plain data, never over
         # ``self``: the finalize guard below keeps the supervisor alive,
         # so any supervisor->executor reference would make the executor
         # permanently reachable and the guard would never fire on GC.
-        ctx, worker_config, plan_args = self._ctx, self._worker_config, self._plan_args
+        ctx, worker_config = self._ctx, self._worker_config
+        plan_box = self._plan_box
 
         def spawn(shard: int, incarnation: int):
             # _spawn_worker resolved at call time (monkeypatch seam).
             return _spawn_worker(
-                ctx, worker_config, plan_args, shard, chaos, incarnation
+                ctx, worker_config, plan_box["plan_args"], shard, chaos, incarnation
             )
 
         def local_factory(shard: int, snap: dict) -> ShardEngine:
             from repro.shard.journal import rehydrate_engine
 
-            return rehydrate_engine(worker_config, plan, shard, snap)
+            return rehydrate_engine(worker_config, plan_box["plan"], shard, snap)
 
         self.supervisor = ShardSupervisor(
             shards=plan.shards,
@@ -538,16 +664,32 @@ class ProcessExecutor:
             raise
 
     # -- RPC plumbing ----------------------------------------------------
-    def _wrap(self, request: tuple) -> tuple:
-        """Wrap a request in the coordinator's current trace context.
+    @property
+    def plan(self) -> StripePlan:
+        """The live stripe plan (rebalancing swaps it atomically)."""
+        return self._plan_box["plan"]
 
-        Only when worker observability is on (a bare worker ignores no
-        envelope) and only when a span is actually recording — unsampled
-        ticks propagate no context, so workers suppress their subtree.
+    @plan.setter
+    def plan(self, plan: StripePlan) -> None:
+        """Install a new plan (and its wire form) in the shared box."""
+        self._plan_box["plan"] = plan
+        self._plan_box["plan_args"] = plan.to_args()
+
+    def _wrap(self, request: tuple) -> tuple:
+        """Stamp a request with trace context and the plan version.
+
+        The trace envelope goes on only when worker observability is on
+        (a bare worker ignores no envelope) and a span is actually
+        recording — unsampled ticks propagate no context, so workers
+        suppress their subtree.  The plan-version stamp (outermost) goes
+        on every regular request: a worker holding a superseded plan
+        replies ``stale`` instead of computing against the wrong stripe
+        map (lifecycle ops are unstamped — they are valid regardless of
+        the plan the worker holds).
         """
-        if not self._worker_obs_on or self.tracer is None:
-            return request
-        return wrap_request(request, current_context(self.tracer))
+        if self._worker_obs_on and self.tracer is not None:
+            request = wrap_request(request, current_context(self.tracer))
+        return wrap_version(request, self._plan_box["plan"].version)
 
     def _call(self, shard: int, op: str, *args) -> Any:
         return self.supervisor.request(shard, self._wrap((op, *args)))
@@ -572,8 +714,76 @@ class ProcessExecutor:
             report.tagged.extend(reply[0])
         if replies[0][3] is not None:
             report.halo = replies[0][3]
+        report.shard_seconds = [r[4] for r in replies]
         self.supervisor.maybe_checkpoint()
         return report
+
+    # -- live rebalancing -------------------------------------------------
+    def rebalance(self, new_plan: StripePlan) -> dict[int, int]:
+        """Adopt ``new_plan`` by live-migrating worker state.
+
+        Protocol (the caller quiesces at a tick boundary):
+
+        1. **Gather** — broadcast ``checkpoint``; every worker returns
+           its exact snapshot (supervised: a crash here recovers
+           normally under the old plan).
+        2. **Splice** — regroup the snapshots by the new plan's
+           ownership (:func:`~repro.shard.rebalance.splice_shard_snapshots`),
+           pure coordinator-side computation.
+        3. **Apply** — send each worker a ``rebalance`` op carrying the
+           new plan and its spliced snapshot.  Unsupervised on purpose:
+           any failure (including a chaos kill mid-migration) aborts to
+           step R below instead of triggering checkpoint replay.
+        4. **Commit** — swap the plan box (so respawns and request
+           stamps use the new plan) and adopt the spliced snapshots as
+           the supervisor's new recovery baseline (journals truncate:
+           the snapshots *are* the current state).
+
+        R. **Rollback** — respawn every worker fresh (new incarnations
+           start chaos-disarmed, so rollback traffic is
+           injection-exempt), restore each from its step-1 snapshot,
+           re-adopt those snapshots as the recovery baseline, re-arm.
+           State is bit-identical to the moment before step 1.
+
+        Returns the complete ``qid -> owner shard`` map under the plan
+        that is live when the call returns.  Raises
+        :class:`ShardWorkerError` only if the rollback itself fails.
+        """
+        from repro.shard.rebalance import splice_shard_snapshots
+
+        old_plan = self._plan_box["plan"]
+        if new_plan.shards != old_plan.shards:
+            raise ValueError(
+                f"rebalance cannot change the shard count "
+                f"({old_plan.shards} -> {new_plan.shards})"
+            )
+        sup = self.supervisor
+        if sup.degraded:
+            raise RebalanceAborted(
+                f"refusing to migrate with degraded shards {sorted(sup.degraded)}"
+            )
+        snaps = sup.broadcast(("checkpoint",))
+        new_snaps, owners = splice_shard_snapshots(snaps, new_plan)
+        try:
+            for shard in range(old_plan.shards):
+                sup._exchange(
+                    shard, ("rebalance", new_plan.to_args(), new_snaps[shard])
+                )
+        except ShardWorkerError:
+            for shard in range(old_plan.shards):
+                sup.respawn_fresh(shard)
+                sup._exchange(shard, ("restore", snaps[shard]))
+            sup.adopt_plan_state(snaps)
+            if self._chaos is not None:
+                for shard in range(old_plan.shards):
+                    sup._exchange(shard, ("arm",))
+            raise RebalanceAborted(
+                "migration failed; all shards rolled back to plan "
+                f"v{old_plan.version}"
+            )
+        self.plan = new_plan
+        sup.adopt_plan_state(new_snaps)
+        return owners
 
     # -- scalar object ops ----------------------------------------------
     def scalar(

@@ -1,0 +1,304 @@
+"""Adaptive shard rebalancing driven by live load metrics (PR 9).
+
+The PR-4 column-stripe plan is static: under the skewed mobility
+workloads the paper's grid scheme is built for, one hot stripe bounds
+the whole tick while the others idle.  This module closes the loop from
+the observability stack back into execution:
+
+* :class:`LoadTracker` maintains a per-grid-column picture of observed
+  load — an EWMA of object-update endpoints per column plus the live
+  query census per column — from signals the coordinator already has.
+* :class:`RebalanceController` watches the per-stripe tick wall-times
+  reported by the executors, computes the max/mean *imbalance ratio*,
+  and — when the ratio stays above a configurable threshold for a
+  patience window (and outside a cooldown) — proposes a new
+  load-weighted :class:`~repro.shard.plan.StripePlan`
+  (:meth:`StripePlan.weighted`), with a bumped plan version.
+* :func:`splice_shard_snapshots` regroups a fleet's per-shard *exact*
+  checkpoints (PR 6 machinery) by the new plan's ownership, producing
+  the per-worker snapshots the live migration rehydrates from.
+
+The migration itself lives in the executors
+(:meth:`~repro.shard.executor.SerialExecutor.rebalance` /
+:meth:`~repro.shard.executor.ProcessExecutor.rebalance`) and is
+logically invisible: queries keep their exact per-sector circ records,
+pie radii, results, and counters, so ``drain_events`` and every logical
+counter stay bit-identical to a never-rebalanced monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.shard.plan import StripePlan
+
+__all__ = [
+    "RebalanceConfig",
+    "LoadTracker",
+    "RebalanceController",
+    "splice_shard_snapshots",
+]
+
+
+@dataclass(frozen=True)
+class RebalanceConfig:
+    """Policy knobs of the adaptive rebalancer.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  ``False`` keeps the load tracker and the
+        ``crnn_shard_imbalance_ratio`` gauge running but never migrates
+        (observe-only mode); :meth:`ShardedCRNNMonitor.rebalance_now`
+        still works for operator-forced migrations.
+    imbalance_threshold:
+        Trigger when ``max(shard_tick_seconds) / mean(...)`` is at least
+        this ratio.  1.0 would trigger constantly; 2.0 tolerates one
+        stripe doing double the average work.
+    patience_ticks:
+        Consecutive over-threshold ticks required before a migration is
+        proposed — one slow tick (GC pause, page fault) must not trigger
+        a full state migration.
+    cooldown_ticks:
+        Minimum ticks between migrations, counted from the last plan
+        change (successful or rolled back).  Bounds migration overhead
+        and lets the EWMA resettle under the new plan.
+    warmup_ticks:
+        Ticks to observe before the first migration may trigger.
+    ewma_alpha:
+        Smoothing factor of the per-column move-endpoint EWMA
+        (``new = alpha * this_tick + (1 - alpha) * old``).
+    min_shift_columns:
+        A proposed plan must move at least one boundary by this many
+        columns to be worth a migration; smaller proposals are dropped.
+    """
+
+    enabled: bool = True
+    imbalance_threshold: float = 1.5
+    patience_ticks: int = 5
+    cooldown_ticks: int = 50
+    warmup_ticks: int = 10
+    ewma_alpha: float = 0.3
+    min_shift_columns: int = 1
+
+    def __post_init__(self):
+        if self.imbalance_threshold < 1.0:
+            raise ValueError("imbalance_threshold must be >= 1.0")
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.patience_ticks < 1 or self.cooldown_ticks < 0:
+            raise ValueError("patience_ticks >= 1 and cooldown_ticks >= 0 required")
+
+
+class LoadTracker:
+    """Per-grid-column load picture from coordinator-visible signals.
+
+    Two signals, both free at the coordinator: the column each object
+    update lands in (EWMA-smoothed per tick, so a moving hotspot decays
+    out of cold columns) and the live per-column query census (queries
+    are where per-tick maintenance work concentrates).  The combined
+    per-column weight feeds :meth:`StripePlan.weighted`.
+    """
+
+    def __init__(self, n_columns: int, alpha: float = 0.3):
+        self.n = n_columns
+        self.alpha = alpha
+        #: EWMA of object-update endpoints per column.
+        self.move_load = [0.0] * n_columns
+        #: This tick's raw endpoint histogram (folded by :meth:`end_tick`).
+        self._tick_moves = [0.0] * n_columns
+        #: qid -> its current column (query census).
+        self._query_col: dict[int, int] = {}
+        #: Live query count per column.
+        self.query_count = [0] * n_columns
+
+    def note_event(self, column: int, weight: float = 1.0) -> None:
+        """Charge one object-update endpoint to ``column`` this tick."""
+        self._tick_moves[column] += weight
+
+    def note_query(self, qid: int, column: int) -> None:
+        """Record (or move) query ``qid``'s column in the census."""
+        old = self._query_col.get(qid)
+        if old == column:
+            return
+        if old is not None:
+            self.query_count[old] -= 1
+        self._query_col[qid] = column
+        self.query_count[column] += 1
+
+    def drop_query(self, qid: int) -> None:
+        """Remove a deregistered query from the census."""
+        old = self._query_col.pop(qid, None)
+        if old is not None:
+            self.query_count[old] -= 1
+
+    def end_tick(self) -> None:
+        """Fold this tick's endpoint histogram into the EWMA."""
+        a = self.alpha
+        for c in range(self.n):
+            self.move_load[c] += a * (self._tick_moves[c] - self.move_load[c])
+            self._tick_moves[c] = 0.0
+
+    def column_loads(self) -> list[float]:
+        """The combined per-column weight the weighted split consumes.
+
+        ``(1 + queries) * (1 + ewma_moves) - 1``: zero for columns with
+        neither queries nor traffic, superlinear where both concentrate
+        — matching the cost shape of per-query maintenance, which scales
+        with co-located queries × update traffic.
+        """
+        return [
+            (1.0 + self.query_count[c]) * (1.0 + self.move_load[c]) - 1.0
+            for c in range(self.n)
+        ]
+
+
+class RebalanceController:
+    """Detects sustained stripe skew and proposes weighted re-splits.
+
+    Driven once per tick by the sharded facade: feed the tick's load
+    signals into :attr:`tracker`, then call :meth:`note_tick` with the
+    per-stripe wall-times; a ``True`` return means "migrate now" (the
+    facade then calls :meth:`propose` and executes the migration).
+    """
+
+    def __init__(self, plan: StripePlan, config: Optional[RebalanceConfig] = None):
+        self.config = config if config is not None else RebalanceConfig()
+        self.plan = plan
+        self.tracker = LoadTracker(plan.n, alpha=self.config.ewma_alpha)
+        #: Most recent max/mean stripe tick-time ratio (1.0 = balanced).
+        self.imbalance_ratio = 1.0
+        #: Ticks observed since construction.
+        self.ticks = 0
+        #: Consecutive ticks at or above the threshold.
+        self.streak = 0
+        #: Lifetime trigger count (proposals asked for, not migrations).
+        self.triggers = 0
+        self._last_change_tick = -(10**9)
+
+    def note_tick(self, shard_seconds: list[float]) -> bool:
+        """Digest one tick's per-stripe wall-times; ``True`` = migrate now."""
+        self.ticks += 1
+        positive = [s for s in shard_seconds if s > 0.0]
+        if len(positive) >= 2:
+            mean = sum(positive) / len(positive)
+            self.imbalance_ratio = max(positive) / mean if mean > 0.0 else 1.0
+        cfg = self.config
+        if self.imbalance_ratio >= cfg.imbalance_threshold:
+            self.streak += 1
+        else:
+            self.streak = 0
+        if not cfg.enabled:
+            return False
+        if self.ticks <= cfg.warmup_ticks:
+            return False
+        if self.ticks - self._last_change_tick <= cfg.cooldown_ticks:
+            return False
+        if self.streak < cfg.patience_ticks:
+            return False
+        self.triggers += 1
+        return True
+
+    def note_plan_change(self, plan: StripePlan) -> None:
+        """Reset cooldown/streak after a migration (or a rollback)."""
+        self.plan = plan
+        self.streak = 0
+        self._last_change_tick = self.ticks
+
+    def propose(self) -> Optional[StripePlan]:
+        """A load-weighted successor plan, or ``None`` if not worth it.
+
+        The proposal reuses the grid's truncate-then-clamp column
+        mapping (it *is* a :class:`StripePlan`), carries ``version + 1``,
+        and is dropped when no boundary shifts by at least
+        ``min_shift_columns`` columns.
+        """
+        plan = self.plan
+        candidate = StripePlan.weighted(
+            plan.bounds, plan.n, plan.shards,
+            self.tracker.column_loads(), version=plan.version + 1,
+        )
+        shift = max(
+            abs(a - b) for a, b in zip(candidate.starts, plan.starts)
+        )
+        if shift < self.config.min_shift_columns:
+            return None
+        return candidate
+
+
+def splice_shard_snapshots(
+    snaps: list[dict], new_plan: StripePlan
+) -> tuple[list[dict], dict[int, int]]:
+    """Regroup a fleet's exact checkpoints under a new plan's ownership.
+
+    ``snaps`` is one :func:`~repro.shard.journal.engine_snapshot` per
+    shard (old-plan order).  Returns ``(new_snaps, owners)``: one exact
+    snapshot per *new-plan* shard — each a valid input to
+    :func:`~repro.shard.journal.rehydrate_engine` — plus the
+    ``qid -> new shard`` ownership map.
+
+    Splice rules (what makes the migration logically invisible):
+
+    * ``objects`` — the position plane is fully replicated, identical in
+      every source snapshot; copied verbatim.
+    * ``queries`` / ``results`` / ``exact.circ`` / ``exact.queries`` —
+      regrouped per query by ``new_plan.owner_of(query position)``.  A
+      query's exact circ records and hysteretic pie radii travel with
+      it untouched, which is what preserves bit-identical future events
+      and counters.
+    * ``stats`` — kept with the *shard index*, not the queries: per-
+      worker counters never move or recompute, so the fleet's aggregate
+      (and the worker-obs delta baselines) are unchanged.
+    * ``exact.cells`` — the union of every source replica's materialized
+      cell set: a superset of any regrouped engine's state-carrying
+      cells (object cells are common to all replicas; a migrated
+      query's pie cells are in its old owner's set), and extra cells are
+      provably state-free, which :func:`restore_exact` handles.
+    """
+    from repro.geometry.point import Point
+
+    if len(snaps) != new_plan.shards:
+        raise ValueError(
+            f"got {len(snaps)} snapshots for a {new_plan.shards}-shard plan"
+        )
+    owners: dict[int, int] = {}
+    for snap in snaps:
+        for qid, x, y, _excl in snap["queries"]:
+            owners[int(qid)] = new_plan.owner_of(Point(float(x), float(y)))
+    all_cells = sorted(set().union(*(snap["exact"]["cells"] for snap in snaps)))
+    new_snaps: list[dict] = []
+    for shard in range(new_plan.shards):
+        base = snaps[shard]
+        queries = sorted(
+            (row for snap in snaps for row in snap["queries"]
+             if owners[int(row[0])] == shard),
+            key=lambda row: int(row[0]),
+        )
+        results = sorted(
+            (row for snap in snaps for row in snap["results"]
+             if owners.get(int(row[0])) == shard),
+            key=lambda row: int(row[0]),
+        )
+        circ = sorted(
+            (row for snap in snaps for row in snap["exact"]["circ"]
+             if owners.get(int(row[0])) == shard),
+            key=lambda row: (int(row[0]), int(row[1])),
+        )
+        pie = sorted(
+            (row for snap in snaps for row in snap["exact"]["queries"]
+             if owners.get(int(row[0])) == shard),
+            key=lambda row: int(row[0]),
+        )
+        new_snaps.append({
+            "format": base["format"],
+            "version": base["version"],
+            "config": base["config"],
+            "objects": base["objects"],
+            "queries": queries,
+            "results": results,
+            "stats": base["stats"],
+            "exact": {"circ": circ, "queries": pie, "cells": all_cells},
+            "shard": shard,
+        })
+    return new_snaps, owners

@@ -45,7 +45,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.obs.dist import real_op, split_request
+from repro.obs.dist import real_op, split_request, split_version
 from repro.obs.logutil import RateLimitedLogger
 from repro.shard.engine import ShardEngine, dispatch_op
 from repro.shard.journal import MUTATING_OPS, TickJournal
@@ -61,7 +61,10 @@ logger = logging.getLogger("repro.shard.supervisor")
 
 #: Failure kinds the supervisor recovers from; ``fault`` (a worker-side
 #: application error, i.e. a deterministic bug) is never recovered.
-RECOVERABLE_KINDS = frozenset({"crash", "hang", "protocol"})
+#: ``stale`` (PR 9) means the worker holds a superseded stripe plan —
+#: its replacement respawns under the current plan and replays from the
+#: current-plan checkpoint, which heals the mismatch.
+RECOVERABLE_KINDS = frozenset({"crash", "hang", "protocol", "stale"})
 
 
 class ShardWorkerError(RuntimeError):
@@ -174,9 +177,13 @@ class _LocalShard:
 
     def request(self, request: tuple) -> Any:
         """Execute one request synchronously and return its payload."""
-        _ctx, request = split_request(request)  # no worker kit to adopt into
+        # In-process execution always holds the coordinator's current
+        # plan, so the version stamp is peeled and trusted; no worker
+        # kit to adopt the trace context into either.
+        _version, request = split_version(request)
+        _ctx, request = split_request(request)
         op = request[0]
-        if op in ("checkpoint", "arm", "close", "restore"):
+        if op in ("checkpoint", "arm", "close", "restore", "rebalance"):
             return None  # lifecycle ops are meaningless in-process
         return dispatch_op(self.engine, op, request[1:])
 
@@ -252,6 +259,9 @@ class ShardSupervisor:
         self.degraded: set[int] = set()
         #: Wall-clock recovery latencies, in completion order.
         self.recovery_seconds: list[float] = []
+        #: True while a respawn/replay is in flight — the rebalancer's
+        #: interlock (never start a migration during recovery).
+        self.recovering = False
         self._log = RateLimitedLogger(logger)
         self._closed = False
 
@@ -394,6 +404,45 @@ class ShardSupervisor:
                 journal.clear()
 
     # ------------------------------------------------------------------
+    # Rebalance support (PR 9)
+    # ------------------------------------------------------------------
+    def respawn_fresh(self, shard: int) -> None:
+        """Replace one worker with a blank next incarnation, no restore.
+
+        The rebalance rollback path: the caller drives the new worker's
+        state explicitly (a ``restore`` from a just-gathered snapshot),
+        so the checkpoint-replay machinery of :meth:`_rebuild` is
+        deliberately skipped.  New incarnations start chaos-disarmed,
+        which is what makes rollback traffic injection-exempt.
+        """
+        chan = self.channels[shard]
+        if isinstance(chan, _WorkerChannel):
+            self._kill_channel(chan)
+        self.incarnations[shard] += 1
+        incarnation = self.incarnations[shard]
+        proc, conn = self.spawn(shard, incarnation)
+        self.channels[shard] = _WorkerChannel(proc, conn, incarnation)
+        if self.flight is not None:
+            self.flight.record_event(
+                shard, "respawn", f"incarnation {incarnation} (rebalance)"
+            )
+
+    def adopt_plan_state(self, snaps: list) -> None:
+        """Install per-shard snapshots as the new recovery baseline.
+
+        Called when a migration commits (spliced new-plan snapshots) or
+        rolls back (the pre-migration gather): either way the snapshots
+        *are* the workers' exact current state, so they become the
+        checkpoints and the journals truncate — a later recovery replays
+        nothing stale, and every journal entry after this point carries
+        the now-current plan version.
+        """
+        for shard, snap in enumerate(snaps):
+            if self.enabled:
+                self.checkpoints[shard] = snap
+            self.journals[shard].clear()
+
+    # ------------------------------------------------------------------
     # Wire-level exchange (no journaling, no recovery)
     # ------------------------------------------------------------------
     def _exchange(self, shard: int, request: tuple) -> Any:
@@ -434,6 +483,12 @@ class ShardSupervisor:
             return payload
         if status == "err":
             raise ShardWorkerError(shard, op, "fault", str(payload))
+        if status == "stale":
+            # The worker refused a request stamped with a plan version it
+            # never adopted; its stripe map cannot be trusted, so replace
+            # it (recovery restores from the current-plan checkpoint).
+            self._kill_channel(chan)
+            raise ShardWorkerError(shard, op, "stale", f"plan mismatch {payload!r}")
         self._kill_channel(chan)
         raise ShardWorkerError(
             shard, op, "protocol", f"unknown reply status {status!r}"
@@ -476,13 +531,23 @@ class ShardSupervisor:
     # ------------------------------------------------------------------
     def _recover(self, shard: int, failed_request: tuple, err: ShardWorkerError) -> Any:
         """Bounded respawn loop; returns the failed request's reply."""
-        config = self.config
         t0 = time.perf_counter()
         self._log.warning(
             f"shard-{shard}-failure",
             "shard %d worker %s during %r; recovering (journal depth %d)",
             shard, err.kind, err.op, len(self.journals[shard]),
         )
+        self.recovering = True
+        try:
+            return self._recover_loop(shard, failed_request, err, t0)
+        finally:
+            self.recovering = False
+
+    def _recover_loop(
+        self, shard: int, failed_request: tuple, err: ShardWorkerError, t0: float
+    ) -> Any:
+        """The respawn/backoff loop body of :meth:`_recover`."""
+        config = self.config
         attempts = 0
         while True:
             budget_spent = (
@@ -542,7 +607,12 @@ class ShardSupervisor:
         try:
             for entry in entries:
                 self._stashed_delta = None
-                r = self._exchange(shard, entry)
+                # Replay unstamped: entries carry the plan version current
+                # when first sent, but the replacement worker was spawned
+                # under the *current* plan box (and replay is synchronous,
+                # so no plan change can interleave).  A stale stamp here
+                # would wedge recovery in a respawn loop.
+                r = self._exchange(shard, split_version(entry)[1])
                 if entry is last and entry is failed_request:
                     reply, have_reply, replay_delta = r, True, self._stashed_delta
         finally:
@@ -553,7 +623,7 @@ class ShardSupervisor:
         if self.chaos is not None:
             self._exchange(shard, ("arm",))
         if not have_reply:
-            reply = self._exchange(shard, failed_request)
+            reply = self._exchange(shard, split_version(failed_request)[1])
         return reply
 
     def _give_up(self, shard: int, failed_request: tuple, err: ShardWorkerError) -> Any:

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Render the BENCH_pr*.json files into one perf-trajectory table.
+
+Each PR's bench suite froze its headline numbers into a checked-in
+JSON (``BENCH_pr2.json`` ... ``BENCH_pr9.json``).  This tool reads
+whichever of them exist and renders a single Markdown table tracking
+the repo's performance story across PRs — vectorization speedup,
+shard-sweep scaling, and the overhead each subsequent layer
+(supervision, serving, observability, rebalancing) added, against its
+acceptance target.  ``make bench-report`` writes the table into
+``docs/TUNING.md``'s companion page, ``docs/BENCH_TRAJECTORY.md``.
+
+Usage::
+
+    python tools/bench_trajectory.py                   # table to stdout
+    python tools/bench_trajectory.py --out docs/BENCH_TRAJECTORY.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _load(root: pathlib.Path, name: str) -> dict | None:
+    path = root / name
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _fmt_pct(value: float | None) -> str:
+    return "n/a" if value is None else f"{value:+.2f}%"
+
+
+def rows_pr2(data: dict) -> list[tuple]:
+    """PR 2: scalar vs vectorized update-phase speedup per workload."""
+    out = []
+    for wl in data.get("workloads", []):
+        out.append((
+            "pr2", f"vectorize `{wl['name']}`",
+            f"{wl['update_phase_speedup']}x update-phase speedup (scalar -> numpy)",
+            ">= 1x (never slower)",
+            "yes" if wl["update_phase_speedup"] >= 1.0 else "NO",
+        ))
+    return out
+
+
+def rows_pr4(data: dict) -> list[tuple]:
+    """PR 4: shard K-sweep — best speedup per workload and executor."""
+    out = []
+    for wl in data.get("workloads", []):
+        best: dict[str, tuple] = {}
+        for row in wl["sweep"]:
+            speed = row.get("speedup_vs_single")
+            if speed is None:
+                continue
+            key = row["executor"]
+            if key not in best or speed > best[key][0]:
+                best[key] = (speed, row["shards"])
+        for executor, (speed, shards) in sorted(best.items()):
+            out.append((
+                "pr4", f"shard sweep `{wl['name']}` ({executor})",
+                f"{speed}x vs single monitor at K={shards}",
+                ">= 1.5x at K=4, n=50k, process, cpu>=4",
+                "counters parity-checked",
+            ))
+    return out
+
+
+def _overhead_rows(pr: str, data: dict, what: str, arm_off: str, arm_on: str) -> list[tuple]:
+    out = []
+    for wl in data.get("workloads", []):
+        out.append((
+            pr, f"{what} `{wl['name']}`",
+            f"{_fmt_pct(wl.get('overhead_pct'))} update-phase overhead "
+            f"({arm_off} -> {arm_on})",
+            "<= 5%",
+            "yes" if wl.get("within_target") else "NO",
+        ))
+    return out
+
+
+def rows_pr7(data: dict) -> list[tuple]:
+    """PR 7: wire overhead of the TCP serving path."""
+    overhead = data.get("overhead")
+    target = data.get("target", 0.15)
+    return [(
+        "pr7", "serve wire overhead",
+        f"{_fmt_pct(overhead * 100.0 if overhead is not None else None)} "
+        f"TCP replay vs direct process()",
+        f"<= {target * 100:.0f}%",
+        "yes" if data.get("target_met") else "NO",
+    )]
+
+
+def rows_pr9(data: dict) -> list[tuple]:
+    """PR 9: adaptive rebalancing — skew speedup and protocol overhead."""
+    out = []
+    for row in data.get("skew", []):
+        speed = row.get("speedup_adaptive_vs_static")
+        outcomes = row["adaptive"].get("rebalance_outcomes") or {}
+        asserted = row.get("speedup_asserted")
+        out.append((
+            "pr9", f"adaptive rebalance `{row['name']}` K={row['shards']}",
+            f"{speed}x vs static split, {outcomes.get('committed', 0)} "
+            f"plan change(s) committed",
+            ">= 1.3x on cpu>=4 hosts",
+            "asserted" if asserted else "recorded (host < 4 cores)",
+        ))
+    uo = data.get("uniform_overhead")
+    if uo:
+        out.append((
+            "pr9", f"rebalance protocol overhead `{uo['name']}`",
+            f"{_fmt_pct(uo.get('overhead_pct'))} with the machinery enabled "
+            f"on a balanced load",
+            "<= 5%",
+            "yes" if uo.get("within_target") else "NO",
+        ))
+    return out
+
+
+def build_table(root: pathlib.Path) -> str:
+    """The full trajectory table (Markdown) from whatever JSONs exist."""
+    sections: list[tuple] = []
+    loaded: list[str] = []
+    handlers = (
+        ("BENCH_pr2.json", rows_pr2),
+        ("BENCH_pr4.json", rows_pr4),
+        ("BENCH_pr6.json", lambda d: _overhead_rows(
+            "pr6", d, "supervision overhead", "supervision off", "on")),
+        ("BENCH_pr7.json", rows_pr7),
+        ("BENCH_pr8.json", lambda d: _overhead_rows(
+            "pr8", d, "distributed-obs overhead", "obs off", "on")),
+        ("BENCH_pr9.json", rows_pr9),
+    )
+    host = None
+    for name, handler in handlers:
+        data = _load(root, name)
+        if data is None:
+            continue
+        loaded.append(name)
+        host = data.get("host", host)
+        sections.extend(handler(data))
+    lines = [
+        "# Performance trajectory",
+        "",
+        "One row per headline number across the PR sequence, regenerated",
+        "by `make bench-report` from the checked-in `BENCH_pr*.json`",
+        f"files ({', '.join(f'`{n}`' for n in loaded)}).",
+        "",
+        "| PR | measurement | result | target | status |",
+        "|----|-------------|--------|--------|--------|",
+    ]
+    for pr, what, result, target, status in sections:
+        lines.append(f"| {pr} | {what} | {result} | {target} | {status} |")
+    if host:
+        lines += [
+            "",
+            f"Recorded on: {host.get('platform', 'unknown')}, "
+            f"{host.get('cpu_count', '?')} cores, "
+            f"Python {host.get('python', '?')}.",
+            "Absolute timings are host-specific; the parity flags and",
+            "overhead/speedup ratios are what the acceptance gates check.",
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", type=pathlib.Path,
+                        help="directory holding the BENCH_pr*.json files")
+    parser.add_argument("--out", default=None, type=pathlib.Path,
+                        help="write here instead of stdout")
+    args = parser.parse_args(argv)
+    table = build_table(args.root)
+    if args.out is not None:
+        args.out.write_text(table)
+        print(f"[bench-report] wrote {args.out}", file=sys.stderr)
+    else:
+        print(table, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Verify intra-repo Markdown links resolve (``make docs-lint`` / CI).
+
+Walks every tracked ``*.md`` file (repo root, ``docs/``, and package
+directories), extracts inline Markdown links, and checks that each
+link with no URL scheme points at a file or directory that exists,
+resolved relative to the linking file.  Anchors (``#section``) are
+stripped before the existence check; pure-anchor links, external URLs
+(``http:``, ``https:``, ``mailto:``), and links inside fenced code
+blocks are ignored.
+
+Usage::
+
+    python tools/check_links.py [ROOT ...]   # default: repo root
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+#: Inline links: ``[text](target)``; images share the same syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Directories never scanned (caches, VCS internals, virtualenvs).
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".hypothesis", "node_modules"}
+
+
+def iter_markdown(roots: list[pathlib.Path]):
+    """Every ``*.md`` under the roots, skipping cache/VCS directories."""
+    for root in roots:
+        if root.is_file():
+            yield root
+            continue
+        for path in sorted(root.rglob("*.md")):
+            if not any(part in SKIP_DIRS for part in path.parts):
+                yield path
+
+
+def extract_links(text: str):
+    """(lineno, target) for every inline link outside fenced code."""
+    fenced = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def is_external(target: str) -> bool:
+    return bool(re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target))
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """Broken-link messages for one Markdown file."""
+    problems = []
+    for lineno, target in extract_links(path.read_text(encoding="utf-8")):
+        if is_external(target) or target.startswith("#"):
+            continue
+        bare = target.split("#", 1)[0]
+        if not bare:
+            continue
+        resolved = (path.parent / bare).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("roots", nargs="*", default=["."],
+                        help="files or directories to scan (default: .)")
+    args = parser.parse_args(argv)
+    roots = [pathlib.Path(r) for r in args.roots]
+    files = list(iter_markdown(roots))
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        print(f"[links] {len(problems)} broken link(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"[links] {len(files)} Markdown files, all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
