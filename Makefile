@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check smoke obs-smoke obs-dist-smoke chaos-smoke chaos-heavy rebalance-smoke rebalance-heavy serve-smoke serve-soak bench bench-recovery bench-serve bench-obs bench-rebalance bench-report bench-check bench-paper docs docs-lint experiments experiments-quick examples clean
+.PHONY: install test check lint smoke obs-smoke obs-dist-smoke chaos-smoke chaos-heavy rebalance-smoke rebalance-heavy serve-smoke serve-soak bench bench-recovery bench-serve bench-obs bench-rebalance bench-report bench-check bench-paper docs docs-lint experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,12 +10,21 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# What CI runs: the tier-1 suite, the fault-injection smoke job, the
-# seeded worker-kill loop, and the docstring-coverage floor.
-check:
+# What CI runs: the static-analysis suite, the tier-1 suite, the
+# fault-injection smoke job, and the seeded worker-kill loop.
+check: lint
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro.robustness.smoke --quick
 	PYTHONPATH=src $(PYTHON) -m repro.shard.chaos --seconds 60
+
+# The full static-analysis gate (DESIGN §14, what the CI lint job
+# runs): the crnnlint project-invariant rules (CRNN001-005), ruff and
+# the mypy strict/ratchet passes (both skip with a notice when the
+# tool is not installed — CI installs them), and the docstring floor.
+lint:
+	$(PYTHON) tools/crnnlint.py
+	$(PYTHON) tools/run_ruff.py
+	$(PYTHON) tools/run_mypy.py
 	$(PYTHON) tools/docstring_coverage.py --fail-under 85 src/repro
 
 smoke:
@@ -99,9 +108,12 @@ bench-rebalance:
 bench-report:
 	$(PYTHON) tools/bench_trajectory.py --out docs/BENCH_TRAJECTORY.md
 
-# Regression gate against the checked-in BENCH_pr2.json (what CI runs).
+# Regression gate against the checked-in BENCH_pr2.json (what CI runs),
+# plus the drift guard: every crnn_* metric a BENCH_pr*.json references
+# must still be emitted by src/ (the CRNN004 registry extract).
 bench-check:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q benchmarks/test_perf_regression.py
+	$(PYTHON) tools/bench_trajectory.py --check-metrics
 
 # The original pytest-benchmark suite over the paper's tables/figures.
 bench-paper:

@@ -1,0 +1,98 @@
+"""CRNN002 — async safety in the serve layer.
+
+``repro.serve`` runs one asyncio event loop per server; a single
+blocking call inside an ``async def`` stalls every connection, the
+tick loop, and the fanout path at once (the PR-7 soak suite found
+exactly this class of bug in post-connect ``setsockopt``).  This rule
+flags direct calls to known-blocking primitives — ``time.sleep``,
+``open``/``input``, ``subprocess.*``, ``os.system``, synchronous
+socket constructors, ``urllib``/``requests`` — lexically inside an
+``async def`` body.  Nested *sync* ``def``s are excluded: they are
+separate scopes whose call sites decide where they run (e.g. via
+``run_in_executor``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.core import Finding, build_import_map, resolve_qualname
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.analysis.core import Project, SourceFile
+
+from repro.analysis.checkers import Checker
+
+__all__ = ["AsyncSafetyChecker"]
+
+RULE = "CRNN002"
+
+#: Blocking call -> suggested non-blocking alternative.
+BLOCKING_CALLS = {
+    "time.sleep": "await asyncio.sleep(...)",
+    "open": "loop.run_in_executor(None, ...)",
+    "input": "loop.run_in_executor(None, ...)",
+    "subprocess.run": "asyncio.create_subprocess_exec(...)",
+    "subprocess.call": "asyncio.create_subprocess_exec(...)",
+    "subprocess.check_call": "asyncio.create_subprocess_exec(...)",
+    "subprocess.check_output": "asyncio.create_subprocess_exec(...)",
+    "subprocess.Popen": "asyncio.create_subprocess_exec(...)",
+    "os.system": "asyncio.create_subprocess_shell(...)",
+    "os.popen": "asyncio.create_subprocess_shell(...)",
+    "os.waitpid": "asyncio.create_subprocess_exec(...)",
+    "socket.create_connection": "asyncio.open_connection(...)",
+    "socket.getaddrinfo": "loop.getaddrinfo(...)",
+    "urllib.request.urlopen": "loop.run_in_executor(None, ...)",
+    "requests.get": "loop.run_in_executor(None, ...)",
+    "requests.post": "loop.run_in_executor(None, ...)",
+    "requests.request": "loop.run_in_executor(None, ...)",
+}
+
+
+def _direct_body(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk an async function's body, stopping at nested function scopes."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are their own scopes; nested *async* defs are
+            # visited when the outer walk reaches them independently.
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class AsyncSafetyChecker(Checker):
+    """Flag blocking calls lexically inside ``async def`` bodies."""
+
+    rule = RULE
+    summary = "no blocking calls (sleep, sync I/O, subprocess) in async def"
+
+    def check_file(
+        self, sf: "SourceFile", project: "Project"
+    ) -> Iterable[Finding]:
+        """Scan every async function in one module."""
+        assert sf.tree is not None
+        imports = build_import_map(sf.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for inner in _direct_body(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                qual = resolve_qualname(inner.func, imports)
+                if qual is None or qual not in BLOCKING_CALLS:
+                    continue
+                findings.append(
+                    Finding(
+                        RULE,
+                        sf.rel,
+                        inner.lineno,
+                        f"blocking call `{qual}(...)` inside async "
+                        f"`{node.name}` stalls the event loop; use "
+                        f"{BLOCKING_CALLS[qual]}",
+                    )
+                )
+        return findings

@@ -1,0 +1,100 @@
+"""crnnlint command-line driver (``tools/crnnlint.py`` / ``make lint``).
+
+Exit status: 0 on a clean tree, 1 when any finding survives
+suppression filtering, 2 on usage errors.  ``--format json`` emits a
+machine-readable finding list for CI annotation tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.checkers import all_checkers
+from repro.analysis.config import load_config
+from repro.analysis.core import run_lint
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the lint and report; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="crnnlint",
+        description="Project-invariant static analysis for the CRNN codebase.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parents[3],
+        help="project root (default: the repository this module lives in)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output format (default: text)",
+    )
+    args = parser.parse_args(argv)
+
+    config = load_config(args.root)
+    if args.list_rules:
+        for checker in all_checkers(config):
+            scope = config.rule_paths.get(checker.rule)
+            where = ", ".join(scope) if scope else "project-wide"
+            print(f"{checker.rule}  {checker.summary}")
+            print(f"         scope: {where}")
+        return 0
+
+    select = (
+        [r.strip() for r in args.select.split(",") if r.strip()]
+        if args.select
+        else None
+    )
+    t0 = time.perf_counter()
+    findings = run_lint(args.root, config=config, select=select)
+    elapsed = time.perf_counter() - t0
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for f in findings:
+            print(f.render())
+        status = "clean" if not findings else f"{len(findings)} finding(s)"
+        print(
+            f"crnnlint: {status} "
+            f"({len(select) if select else 5} rule group(s), {elapsed:.2f}s)",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

@@ -107,7 +107,7 @@ class Histogram:
     __slots__ = ("bounds", "bucket_counts", "count", "sum")
     kind = "histogram"
 
-    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
         bounds = tuple(float(b) for b in bounds)
         if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
             raise ValueError("histogram bounds must be non-empty and strictly increasing")
@@ -170,7 +170,7 @@ class _Family:
     __slots__ = ("name", "help", "kind", "labelnames", "_children", "_factory")
 
     def __init__(self, name: str, help_text: str, kind: str,
-                 labelnames: tuple[str, ...], factory: Callable[[], Any]):
+                 labelnames: tuple[str, ...], factory: Callable[[], Any]) -> None:
         self.name = name
         self.help = help_text
         self.kind = kind
@@ -230,7 +230,7 @@ class CollectedFamily:
     __slots__ = ("name", "kind", "help", "samples")
 
     def __init__(self, name: str, kind: str, help_text: str,
-                 samples: list[tuple[dict[str, str], float]]):
+                 samples: list[tuple[dict[str, str], float]]) -> None:
         self.name = _check_name(name)
         if kind not in ("counter", "gauge"):
             raise ValueError("collectors may only produce counters and gauges")

@@ -112,7 +112,7 @@ class ProtocolError(ValueError):
     ``error`` reply instead of dropping the connection.
     """
 
-    def __init__(self, code: str, detail: str = "", seq: Optional[int] = None):
+    def __init__(self, code: str, detail: str = "", seq: Optional[int] = None) -> None:
         super().__init__(f"{code}: {detail}" if detail else code)
         self.code = code
         self.detail = detail
@@ -144,7 +144,7 @@ class FrameDecoder:
     :meth:`check_eof` raises, flagging a connection that closed mid-frame.
     """
 
-    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME):
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
         self.max_frame = max_frame
         self._buf = bytearray()
         #: Bytes still to discard from an oversized frame's body.

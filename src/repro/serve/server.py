@@ -46,12 +46,14 @@ import logging
 import threading
 import time
 from collections import deque
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.core.config import MonitorConfig
 from repro.core.monitor import CRNNMonitor
 from repro.obs.dist import TraceContext, span_in_context
+from repro.robustness.guard import IngestionError
 from repro.serve import protocol as proto
 from repro.serve.protocol import (
     Ack,
@@ -736,7 +738,7 @@ class CRNNServer:
                     t_processed = time.perf_counter()
                     with self.tracer.span("serve.fanout", events=len(events)):
                         await self._fanout(tick, events)
-            except Exception as exc:
+            except IngestionError as exc:
                 self._m_tick_errors.inc()
                 self._m_shed.labels("tick").inc(float(len(batch)))
                 log.warning(
@@ -1011,8 +1013,8 @@ class ServerThread:
         if self.server is not None:
             try:
                 self.call(self.server.shutdown(drain=drain))
-            except Exception:
-                pass
+            except (RuntimeError, OSError, FuturesTimeoutError):
+                pass  # loop already stopping / socket gone: nothing to drain
         self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
             self._thread.join(timeout=10.0)

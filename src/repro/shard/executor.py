@@ -546,7 +546,7 @@ def _finalize_supervisor(supervisor) -> None:
     """``weakref.finalize`` target: reap workers at GC/interpreter exit."""
     try:
         supervisor.close()
-    except Exception:  # pragma: no cover - teardown best effort
+    except Exception:  # pragma: no cover  # crnnlint: disable=CRNN005 -- GC/atexit reaper must never raise
         pass
 
 
@@ -887,5 +887,5 @@ class ProcessExecutor:
     def __del__(self):  # pragma: no cover - GC-time best effort
         try:
             self.close()
-        except Exception:
+        except Exception:  # crnnlint: disable=CRNN005 -- __del__ must never raise into the collector
             pass

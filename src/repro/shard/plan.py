@@ -13,7 +13,7 @@ read objects arbitrarily far away (DESIGN §9).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
@@ -56,9 +56,9 @@ class StripePlan:
         bounds: Rect,
         grid_cells: int,
         shards: int,
-        starts: Optional[tuple] = None,
+        starts: Optional[Sequence[int]] = None,
         version: int = 0,
-    ):
+    ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
         if shards > grid_cells:
@@ -104,7 +104,7 @@ class StripePlan:
     # ------------------------------------------------------------------
     @classmethod
     def from_starts(
-        cls, bounds: Rect, grid_cells: int, starts, version: int = 0
+        cls, bounds: Rect, grid_cells: int, starts: Sequence[int], version: int = 0
     ) -> "StripePlan":
         """A plan with an explicit column split (``len(starts) == K+1``)."""
         return cls(
@@ -117,7 +117,7 @@ class StripePlan:
         bounds: Rect,
         grid_cells: int,
         shards: int,
-        column_loads,
+        column_loads: Sequence[float],
         version: int = 0,
     ) -> "StripePlan":
         """A load-weighted split: boundaries placed so every stripe

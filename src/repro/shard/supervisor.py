@@ -48,9 +48,10 @@ from typing import Any, Callable, Optional
 from repro.obs.dist import real_op, split_request, split_version
 from repro.obs.logutil import RateLimitedLogger
 from repro.shard.engine import ShardEngine, dispatch_op
-from repro.shard.journal import MUTATING_OPS, TickJournal
+from repro.shard.journal import LIFECYCLE_OPS, MUTATING_OPS, TickJournal
 
 __all__ = [
+    "OP_DEADLINE_SCALE",
     "ShardSupervisor",
     "ShardWorkerError",
     "SupervisionConfig",
@@ -65,6 +66,43 @@ logger = logging.getLogger("repro.shard.supervisor")
 #: its replacement respawns under the current plan and replays from the
 #: current-plan checkpoint, which heals the mismatch.
 RECOVERABLE_KINDS = frozenset({"crash", "hang", "protocol", "stale"})
+
+#: Per-op hang-deadline multipliers over ``SupervisionConfig.op_deadline``
+#: — the liveness table: how long each protocol op may run before a
+#: silent worker is declared hung and killed.  Snapshot-moving ops
+#: (``restore``/``checkpoint``/``rebalance``) serialize whole engine
+#: states across the pipe and legitimately take several times a tick's
+#: budget; everything else replies within one.  Every op of the
+#: protocol — dispatchable (:func:`~repro.shard.engine.dispatch_op`)
+#: or lifecycle (the worker loop) — must have an entry: CRNN003
+#: (``crnnlint``) cross-checks this table against the dispatch set and
+#: the journal's op classification, so a new op cannot ship without a
+#: deadline class.
+OP_DEADLINE_SCALE: dict[str, float] = {
+    # mutating (journaled, replayed on recovery)
+    "tick": 1.0,
+    "scalar": 1.0,
+    "add_query": 1.0,
+    "remove_query": 1.0,
+    "update_query": 1.0,
+    "remove_silent": 1.0,
+    "add_silent": 1.0,
+    # read-only (re-issued after recovery)
+    "region": 1.0,
+    "explain": 1.0,
+    "results": 1.0,
+    "stats": 1.0,
+    "queries": 1.0,
+    "positions": 1.0,
+    "validate": 1.0,
+    "object_count": 1.0,
+    # lifecycle (worker-loop concern; snapshot movers get headroom)
+    "close": 1.0,
+    "arm": 1.0,
+    "restore": 4.0,
+    "checkpoint": 4.0,
+    "rebalance": 4.0,
+}
 
 
 class ShardWorkerError(RuntimeError):
@@ -183,7 +221,7 @@ class _LocalShard:
         _version, request = split_version(request)
         _ctx, request = split_request(request)
         op = request[0]
-        if op in ("checkpoint", "arm", "close", "restore", "rebalance"):
+        if op in LIFECYCLE_OPS:
             return None  # lifecycle ops are meaningless in-process
         return dispatch_op(self.engine, op, request[1:])
 
@@ -457,6 +495,8 @@ class ShardSupervisor:
     def _recv(self, shard: int, op: str) -> Any:
         chan = self.channels[shard]
         deadline = self.config.op_deadline if self.enabled else None
+        if deadline is not None:
+            deadline *= OP_DEADLINE_SCALE.get(op, 1.0)
         try:
             if deadline is not None and not chan.conn.poll(deadline):
                 # Liveness probe: a live-but-silent worker is hung and

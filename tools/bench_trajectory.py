@@ -10,10 +10,18 @@ shard-sweep scaling, and the overhead each subsequent layer
 acceptance target.  ``make bench-report`` writes the table into
 ``docs/TUNING.md``'s companion page, ``docs/BENCH_TRAJECTORY.md``.
 
+Every run also applies the **metric drift guard**: any ``crnn_*``
+metric name referenced anywhere in a ``BENCH_pr*.json`` (keys or
+string values, recursively) must exist in the live CRNN004 registry
+extract (:func:`repro.analysis.checkers.metrics_registry.
+load_metric_registry`) — a bench JSON that still names a renamed or
+deleted metric fails instead of silently rotting.
+
 Usage::
 
     python tools/bench_trajectory.py                   # table to stdout
     python tools/bench_trajectory.py --out docs/BENCH_TRAJECTORY.md
+    python tools/bench_trajectory.py --check-metrics   # drift guard only
 """
 
 from __future__ import annotations
@@ -21,7 +29,13 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import re
 import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Complete ``crnn_*`` metric-name token (same shape CRNN004 extracts).
+_METRIC_TOKEN_RE = re.compile(r"\bcrnn_[a-z0-9]+(?:_[a-z0-9]+)*\b")
 
 
 def _load(root: pathlib.Path, name: str) -> dict | None:
@@ -168,13 +182,65 @@ def build_table(root: pathlib.Path) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _metric_tokens(value: object) -> set[str]:
+    """Every ``crnn_*`` token in a JSON value, keys included, recursively."""
+    tokens: set[str] = set()
+    if isinstance(value, str):
+        tokens.update(_METRIC_TOKEN_RE.findall(value))
+    elif isinstance(value, dict):
+        for k, v in value.items():
+            tokens.update(_metric_tokens(k))
+            tokens.update(_metric_tokens(v))
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            tokens.update(_metric_tokens(item))
+    return tokens
+
+
+def check_metric_drift(root: pathlib.Path) -> list[str]:
+    """The drift guard (module docstring): stale metric refs per file.
+
+    Returns human-readable problem strings; empty means every
+    ``crnn_*`` reference in every ``BENCH_pr*.json`` names a metric
+    the source tree actually emits today.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis.checkers.metrics_registry import load_metric_registry
+
+    registry = set(load_metric_registry(REPO_ROOT))
+    problems: list[str] = []
+    for path in sorted(root.glob("BENCH_pr*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            problems.append(f"{path.name}: unparseable JSON ({exc})")
+            continue
+        stale = _metric_tokens(data) - registry
+        for name in sorted(stale):
+            problems.append(
+                f"{path.name}: references metric `{name}` absent from the "
+                "CRNN004 registry extract (renamed or removed in src/?)"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".", type=pathlib.Path,
                         help="directory holding the BENCH_pr*.json files")
     parser.add_argument("--out", default=None, type=pathlib.Path,
                         help="write here instead of stdout")
+    parser.add_argument("--check-metrics", action="store_true",
+                        help="run only the metric drift guard")
     args = parser.parse_args(argv)
+    problems = check_metric_drift(args.root)
+    for problem in problems:
+        print(f"[bench-report] DRIFT: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    if args.check_metrics:
+        print("[bench-report] metric drift guard: clean", file=sys.stderr)
+        return 0
     table = build_table(args.root)
     if args.out is not None:
         args.out.write_text(table)

@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""CLI wrapper for the `crnnlint` static-analysis suite (DESIGN §14).
+
+Usable from a cold checkout without installation: puts ``src/`` on the
+path and delegates to :mod:`repro.analysis.cli`.
+
+    python tools/crnnlint.py              # lint the repository
+    python tools/crnnlint.py --list-rules # rule catalog
+    python tools/crnnlint.py --select CRNN004 --format json
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.cli import main  # noqa: E402 - path bootstrap first
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Gated mypy runner with a one-way error ratchet (DESIGN §14).
+
+Two passes, both configured from ``pyproject.toml``:
+
+1. **Strict pass** — ``mypy --strict`` over the five contract-bearing
+   modules (``repro.geometry``, ``repro.serve.protocol``,
+   ``repro.shard.plan``, ``repro.shard.journal``,
+   ``repro.obs.metrics``).  Zero errors required, always.
+2. **Ratchet pass** — permissive mypy over all of ``src/repro``; the
+   total error count may only go *down* relative to the checked-in
+   baseline ``tools/mypy_ratchet.json``.  A lower measured count
+   rewrites the baseline (commit it) so improvements lock in; a higher
+   count fails the lint.
+
+The baseline starts uninitialized (``"permissive_total": null``): the
+first run on a mypy-equipped host measures and records it.  When mypy
+is not installed (the pinned CI image always has it; minimal dev
+containers may not) the runner prints a skip notice and exits 0 —
+``crnnlint`` and ruff still gate, and the CI ``lint`` job runs the
+full stack.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RATCHET_PATH = REPO_ROOT / "tools" / "mypy_ratchet.json"
+
+#: The strict-mode surface: geometry kernels (numeric contracts), the
+#: wire format, the stripe plan, the WAL protocol, and the metrics
+#: registry — the modules whose type errors corrupt data silently.
+STRICT_TARGETS = [
+    "src/repro/geometry",
+    "src/repro/serve/protocol.py",
+    "src/repro/shard/plan.py",
+    "src/repro/shard/journal.py",
+    "src/repro/obs/metrics.py",
+]
+
+_ERROR_COUNT_RE = re.compile(r"Found (\d+) errors?")
+
+
+def _have_mypy() -> bool:
+    if shutil.which("mypy") is not None:
+        return True
+    probe = subprocess.run(
+        [sys.executable, "-c", "import mypy"], capture_output=True
+    )
+    return probe.returncode == 0
+
+
+def _run(args: list[str]) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def _error_count(output: str) -> int:
+    m = _ERROR_COUNT_RE.search(output)
+    return int(m.group(1)) if m else 0
+
+
+def main() -> int:
+    """Run both passes; returns the process exit status."""
+    if not _have_mypy():
+        print("run_mypy: mypy not installed; skipping (CI lint job runs it)")
+        return 0
+
+    # Pass 1: strict modules must be clean.
+    code, output = _run(["--strict", *STRICT_TARGETS])
+    if code != 0:
+        sys.stdout.write(output)
+        print("run_mypy: FAIL — strict modules must have zero errors")
+        return 1
+    print(f"run_mypy: strict pass clean ({len(STRICT_TARGETS)} targets)")
+
+    # Pass 2: permissive tree-wide count may only ratchet down.
+    code, output = _run(["src/repro"])
+    measured = _error_count(output) if code != 0 else 0
+    ratchet = json.loads(RATCHET_PATH.read_text(encoding="utf-8"))
+    baseline = ratchet.get("permissive_total")
+    if baseline is None:
+        ratchet["permissive_total"] = measured
+        RATCHET_PATH.write_text(
+            json.dumps(ratchet, indent=2) + "\n", encoding="utf-8"
+        )
+        print(
+            f"run_mypy: ratchet initialized at {measured} permissive "
+            f"error(s); commit {RATCHET_PATH.name}"
+        )
+        return 0
+    if measured > baseline:
+        sys.stdout.write(output)
+        print(
+            f"run_mypy: FAIL — permissive error count rose to {measured} "
+            f"(ratchet baseline {baseline}); fix the new errors, do not "
+            "raise the baseline"
+        )
+        return 1
+    if measured < baseline:
+        ratchet["permissive_total"] = measured
+        RATCHET_PATH.write_text(
+            json.dumps(ratchet, indent=2) + "\n", encoding="utf-8"
+        )
+        print(
+            f"run_mypy: ratchet lowered {baseline} -> {measured}; "
+            f"commit {RATCHET_PATH.name}"
+        )
+        return 0
+    print(f"run_mypy: permissive count holds at {measured} (baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
